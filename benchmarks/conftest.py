@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Every bench both *times* its experiment (pytest-benchmark) and *emits*
+the regenerated paper artifact: printed to stdout and written under
+``results/`` so `pytest benchmarks/ --benchmark-only | tee ...` captures
+everything needed for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, request):
+    """Callable writing an artifact to results/<bench-name>.txt and stdout."""
+
+    def _emit(text: str, name: str | None = None) -> None:
+        stem = name or request.node.name.replace("/", "_")
+        path = results_dir / f"{stem}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit

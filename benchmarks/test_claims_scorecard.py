@@ -1,0 +1,18 @@
+"""Bench: the machine-checked paper-claim scorecard.
+
+Runs the full evaluation matrix once and grades every quantitative
+claim extracted from the paper (see repro.harness.claims).  The printed
+scorecard is the one-page summary of the whole reproduction.
+"""
+
+from repro.harness.claims import render_scorecard, validate_all
+from repro.harness.experiment import DEFAULT_SCALE
+
+
+def test_paper_claims(benchmark, emit):
+    claims = benchmark.pedantic(validate_all, args=(DEFAULT_SCALE,),
+                                rounds=1, iterations=1)
+    emit(render_scorecard(claims), "claims_scorecard")
+    failed = [c for c in claims if not c.passed]
+    assert not failed, "unreproduced claims: " + "; ".join(
+        f"{c.claim} ({c.measured})" for c in failed)

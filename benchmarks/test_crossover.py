@@ -1,0 +1,40 @@
+"""Bench: crossover pressures vs Table 5's ideal pressures.
+
+Connects the paper's two halves quantitatively: S-COMA's measured
+crossover (where it stops beating CC-NUMA) must sit at or above its
+analytic ideal pressure, and AS-COMA must have no crossover below 90%
+on the applications where the paper says it wins or breaks even.
+"""
+
+from repro.harness.crossover import crossover_report, find_crossover
+from repro.harness.experiment import DEFAULT_SCALE
+from repro.harness.report import format_table
+
+
+def test_crossover_pressures(benchmark, emit):
+    rows = benchmark.pedantic(
+        crossover_report,
+        kwargs=dict(apps=("em3d", "radix"), archs=("SCOMA", "ASCOMA"),
+                    scale=DEFAULT_SCALE),
+        rounds=1, iterations=1)
+    emit(format_table(
+        ["App", "Arch", "Ideal pressure", "Crossover pressure"],
+        [[r["app"], r["arch"], r["ideal_pressure"],
+          r["crossover_pressure"] if r["crossover_pressure"] is not None
+          else "never (wins through 95%)"] for r in rows],
+        title="Crossover pressure (arch stops beating CC-NUMA)"
+              " vs Table 5 ideal pressure"), "crossover")
+
+    by = {(r["app"], r["arch"]): r for r in rows}
+    # S-COMA keeps winning until (at least) its ideal pressure...
+    for app in ("em3d", "radix"):
+        r = by[(app, "SCOMA")]
+        assert r["crossover_pressure"] is not None
+        assert r["crossover_pressure"] >= r["ideal_pressure"] - 0.03
+        # ...but collapses not long after: crossover within ~35 points.
+        assert r["crossover_pressure"] <= r["ideal_pressure"] + 0.35
+    # AS-COMA's crossover, when it exists, is far above S-COMA's.
+    for app in ("em3d", "radix"):
+        asc = by[(app, "ASCOMA")]["crossover_pressure"]
+        sc = by[(app, "SCOMA")]["crossover_pressure"]
+        assert asc is None or asc > sc + 0.2

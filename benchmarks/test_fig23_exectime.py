@@ -1,0 +1,100 @@
+"""Benches F2/F3 (left charts): relative execution time per application.
+
+For each of the six applications, runs the full architecture x pressure
+matrix of Figures 2-3, renders the stacked time-breakdown bars, and
+asserts the paper's per-application claims about *relative execution
+time* (normalised to CC-NUMA = 1.0):
+
+* barnes/em3d/radix -- the thrashing group: S-COMA collapses, R-NUMA
+  degrades past ~70% pressure, AS-COMA converges to CC-NUMA or better;
+* fft/ocean/lu -- the benign group: all hybrids behave, lu's hybrids
+  beat CC-NUMA outright at every pressure.
+"""
+
+import pytest
+
+from repro.harness import figure_series, render_figure, run_pressure_sweep
+from repro.harness.experiment import DEFAULT_SCALE
+
+
+def series_for(app):
+    results = run_pressure_sweep(app, scale=DEFAULT_SCALE)
+    return figure_series(app, scale=DEFAULT_SCALE, results=results)
+
+
+def check_barnes(rel):
+    assert rel["SCOMA(10%)"] < 0.7
+    assert rel["ASCOMA(10%)"] == pytest.approx(rel["SCOMA(10%)"], rel=0.05)
+    assert rel["SCOMA(50%)"] > rel["SCOMA(10%)"] * 1.5
+    assert rel["ASCOMA(70%)"] <= rel["VCNUMA(70%)"] + 0.02
+    assert rel["VCNUMA(70%)"] <= rel["RNUMA(70%)"] + 0.02
+    assert rel["ASCOMA(70%)"] < 1.1
+
+
+def check_em3d(rel):
+    assert rel["SCOMA(10%)"] < 0.75
+    assert rel["SCOMA(90%)"] > 2.0
+    assert rel["RNUMA(90%)"] > 1.05
+    assert rel["ASCOMA(90%)"] < 1.08
+    assert rel["ASCOMA(90%)"] < rel["VCNUMA(90%)"] < rel["RNUMA(90%)"]
+    assert rel["ASCOMA(70%)"] < 1.0
+
+
+def check_fft(rel):
+    for label, value in rel.items():
+        if label.startswith(("RNUMA", "VCNUMA", "ASCOMA")):
+            assert 0.8 < value < 1.1, (label, value)
+    assert rel["SCOMA(90%)"] > 1.5
+    assert rel["SCOMA(10%)"] < 1.0
+
+
+def check_lu(rel):
+    # Paper: *every* architecture beats CC-NUMA on lu at every pressure,
+    # including pure S-COMA at 90% (the phase-local working set always
+    # fits the page cache).
+    for label, value in rel.items():
+        if label != "CCNUMA":
+            assert value < 1.0, (label, value)
+    assert rel["ASCOMA(10%)"] < 0.7
+    assert rel["SCOMA(90%)"] < 1.0
+
+
+def check_ocean(rel):
+    for label, value in rel.items():
+        if label.startswith(("RNUMA", "VCNUMA", "ASCOMA")):
+            assert 0.85 < value < 1.1, (label, value)
+    assert rel["SCOMA(90%)"] > 1.2
+
+
+def check_radix(rel):
+    assert rel["ASCOMA(10%)"] < rel["RNUMA(10%)"] * 0.9  # S-COMA-first win
+    assert rel["SCOMA(30%)"] > 2.0
+    assert rel["RNUMA(90%)"] > 1.05
+    assert rel["ASCOMA(90%)"] < 1.08
+    assert rel["ASCOMA(90%)"] <= rel["VCNUMA(90%)"] + 0.02
+
+
+CHECKS = {
+    "barnes": check_barnes,
+    "em3d": check_em3d,
+    "fft": check_fft,
+    "lu": check_lu,
+    "ocean": check_ocean,
+    "radix": check_radix,
+}
+
+
+@pytest.mark.parametrize("app", sorted(CHECKS))
+def test_figure_exectime(app, benchmark, emit, results_dir):
+    series = benchmark.pedantic(series_for, args=(app,), rounds=1,
+                                iterations=1)
+    emit(render_figure(app, scale=DEFAULT_SCALE), f"figure_{app}")
+    # Machine-readable + plottable artifacts next to the text bars.
+    from repro.harness import export_csv, figure_svg
+    export_csv(app, str(results_dir / f"figure_{app}.csv"),
+               scale=DEFAULT_SCALE)
+    figure_svg(app, str(results_dir / f"figure_{app}.svg"),
+               scale=DEFAULT_SCALE)
+    rel = series["relative_total"]
+    assert rel["CCNUMA"] == pytest.approx(1.0)
+    CHECKS[app](rel)

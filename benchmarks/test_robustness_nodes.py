@@ -1,0 +1,44 @@
+"""Robustness bench: conclusions must hold across machine sizes.
+
+The paper runs 8 nodes (4 for lu).  Larger machines raise the
+remote:local traffic ratio (more of the address space is remote per
+node), which should *amplify* the architecture differences, not change
+their direction.  Runs em3d at 4/8/16 nodes.
+"""
+
+from repro.harness.experiment import scaled_policy
+from repro.sim.config import SystemConfig
+from repro.sim.engine import simulate
+from repro.workloads import em3d
+
+NODE_COUNTS = (4, 8, 16)
+
+
+def sweep():
+    rows = []
+    for n in NODE_COUNTS:
+        wl = em3d.generate(n_nodes=n, scale=0.35)
+        cfg = SystemConfig(n_nodes=n, memory_pressure=0.9)
+        base = simulate(wl, scaled_policy("CCNUMA"),
+                        cfg).aggregate().total_cycles()
+        rnuma = simulate(wl, scaled_policy("RNUMA"),
+                         cfg).aggregate().total_cycles() / base
+        ascoma = simulate(wl, scaled_policy("ASCOMA"),
+                          cfg).aggregate().total_cycles() / base
+        rows.append((n, rnuma, ascoma))
+    return rows
+
+
+def test_node_count_robustness(benchmark, emit):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["R3 machine-size robustness (em3d, 90% pressure,"
+             " rel to CC-NUMA):",
+             "  nodes | R-NUMA | AS-COMA"]
+    for n, rnuma, ascoma in rows:
+        lines.append(f"  {n:5d} | {rnuma:6.2f} | {ascoma:.2f}")
+    emit("\n".join(lines), "robustness_nodes")
+
+    for n, rnuma, ascoma in rows:
+        assert ascoma < 1.1, (n, ascoma)
+        assert rnuma > 1.2, (n, rnuma)
+        assert ascoma < rnuma, n

@@ -1,0 +1,48 @@
+"""Robustness bench: conclusions must hold across workload scales.
+
+Our workloads are scaled-down substitutes for the paper's SPLASH-2
+runs; the conclusions should be properties of the *shape* (working set
+vs page cache, hotness, locality), not of the absolute trace size.
+Runs the em3d headline at scales 0.25x / 0.5x / 1.0x and checks the
+ordering and AS-COMA's CC-NUMA convergence at every scale.
+"""
+
+from repro.harness.experiment import scaled_policy
+from repro.sim.config import SystemConfig
+from repro.sim.engine import simulate
+from repro.workloads import em3d
+
+SCALES = (0.25, 0.5, 1.0)
+
+
+def sweep():
+    rows = []
+    for scale in SCALES:
+        wl = em3d.generate(scale=scale)
+        cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=0.9)
+        base = simulate(wl, scaled_policy("CCNUMA"),
+                        cfg).aggregate().total_cycles()
+        scoma = simulate(wl, scaled_policy("SCOMA"),
+                         cfg).aggregate().total_cycles() / base
+        rnuma = simulate(wl, scaled_policy("RNUMA"),
+                         cfg).aggregate().total_cycles() / base
+        ascoma = simulate(wl, scaled_policy("ASCOMA"),
+                          cfg).aggregate().total_cycles() / base
+        rows.append((scale, wl.total_refs(), scoma, rnuma, ascoma))
+    return rows
+
+
+def test_scale_robustness(benchmark, emit):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["R2 scale robustness (em3d, 90% pressure, rel to CC-NUMA):",
+             "  scale | refs      | S-COMA | R-NUMA | AS-COMA"]
+    for scale, refs, scoma, rnuma, ascoma in rows:
+        lines.append(f"  {scale:5.2f} | {refs:9,} | {scoma:6.2f} |"
+                     f" {rnuma:6.2f} | {ascoma:.2f}")
+    emit("\n".join(lines), "robustness_scale")
+
+    for scale, _, scoma, rnuma, ascoma in rows:
+        assert scoma > 2.0, (scale, scoma)        # S-COMA collapses
+        assert rnuma > 1.2, (scale, rnuma)        # R-NUMA thrashes
+        assert ascoma < 1.1, (scale, ascoma)      # AS-COMA converges
+        assert ascoma < rnuma < scoma, scale      # full ordering

@@ -1,0 +1,19 @@
+"""Bench T3: regenerate Table 3 (cache and network characteristics)."""
+
+from repro.harness import render_table3
+from repro.sim.config import SystemConfig
+
+
+def test_table3_render(benchmark, emit):
+    out = benchmark(render_table3)
+    emit(out, "table3")
+
+
+def test_table3_values_are_papers(benchmark):
+    cfg = benchmark(SystemConfig)
+    desc = cfg.describe()
+    assert "8 KiB" in desc["L1 Cache"]
+    assert "32-byte" in desc["L1 Cache"]
+    assert "128-byte" in desc["RAC"]
+    assert "4x4 switch" in desc["Network"]
+    assert desc["Clock"] == "120 MHz"

@@ -1,0 +1,21 @@
+"""Bench T4: measure the minimum access latencies of Table 4.
+
+Paper values: L1 = 1 cycle, local memory ~= 50, RAC ~= 36, remote
+~= 180, remote:local ratio ~= 3.6.  The measurement drives the real
+engine over a contention-free microbenchmark (see harness.tables).
+"""
+
+import pytest
+
+from repro.harness import render_table4
+from repro.harness.tables import table4
+
+
+def test_table4_measured(benchmark, emit):
+    data = benchmark.pedantic(table4, rounds=1, iterations=1)
+    emit(render_table4(), "table4")
+    assert data["L1 Cache"] == 1.0
+    assert data["Local Memory"] == pytest.approx(50, abs=2)
+    assert data["RAC"] == pytest.approx(36, abs=2)
+    assert data["Remote Memory"] == pytest.approx(180, abs=6)
+    assert data["remote_to_local_ratio"] == pytest.approx(3.6, abs=0.2)

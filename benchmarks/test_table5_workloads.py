@@ -1,0 +1,24 @@
+"""Bench T5: regenerate Table 5 (programs and problem sizes).
+
+Checks the paper's structural facts: lu runs on 4 nodes, radix has the
+lowest ideal pressure (every node touches every page), fft and ocean the
+highest.
+"""
+
+from repro.harness import render_table5
+from repro.harness.tables import table5
+
+
+def test_table5(benchmark, emit):
+    rows = benchmark.pedantic(table5, rounds=1, iterations=1)
+    emit(render_table5(), "table5")
+    byname = {r["program"]: r for r in rows}
+    assert set(byname) == {"barnes", "em3d", "fft", "lu", "ocean", "radix"}
+    assert byname["lu"]["nodes"] == 4
+    assert all(r["nodes"] == 8 for n, r in byname.items() if n != "lu")
+    ideal = {n: r["ideal_pressure"] for n, r in byname.items()}
+    assert min(ideal, key=ideal.get) == "radix"
+    assert ideal["fft"] > 0.6 and ideal["ocean"] > 0.6
+    assert 0.25 < ideal["barnes"] < 0.45      # paper: ~33%
+    assert 0.45 < ideal["em3d"] < 0.65        # paper: ~53%
+    assert 0.4 < ideal["lu"] < 0.6            # paper: ~45-50%

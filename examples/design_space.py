@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Tour the design space around the paper in one table.
+
+For one workload and pressure, compares everything the library can
+build: the paper's five architectures, the migration extension, MESI,
+home-placement variants, a bigger RAC and a more associative L1 --
+showing which design levers actually move the result and which do not.
+
+Usage:
+    python examples/design_space.py [app] [pressure] [scale]
+"""
+
+import sys
+
+from repro.harness import format_table
+from repro.harness.experiment import scaled_policy
+from repro.sim.config import SystemConfig
+from repro.sim.engine import simulate
+from repro.workloads import generate_workload
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "em3d"
+    pressure = float(sys.argv[2]) if len(sys.argv) > 2 else 0.7
+    scale = float(sys.argv[3]) if len(sys.argv) > 3 else 0.5
+    workload = generate_workload(app, scale=scale)
+
+    def cfg(**kw):
+        return SystemConfig(n_nodes=workload.n_nodes,
+                            memory_pressure=pressure, **kw)
+
+    variants = [
+        ("CC-NUMA (baseline)", "CCNUMA", cfg()),
+        ("pure S-COMA", "SCOMA", cfg()),
+        ("R-NUMA", "RNUMA", cfg()),
+        ("VC-NUMA", "VCNUMA", cfg()),
+        ("AS-COMA", "ASCOMA", cfg()),
+        ("CC-NUMA + migration", "CCNUMAMIG", cfg()),
+        ("AS-COMA + MESI", "ASCOMA", cfg(protocol="mesi")),
+        ("AS-COMA + 4-way L1", "ASCOMA", cfg(l1_ways=4)),
+        ("CC-NUMA + 16-chunk RAC", "CCNUMA", cfg(rac_entries=16)),
+        ("CC-NUMA, random placement", "CCNUMA",
+         cfg(home_placement="random")),
+    ]
+
+    print(f"Design space on {app} at {pressure:.0%} memory pressure"
+          f" ({workload.total_refs():,} refs)\n")
+    baseline = None
+    rows = []
+    for label, arch, config in variants:
+        agg = simulate(workload, scaled_policy(arch), config).aggregate()
+        total = agg.total_cycles()
+        if baseline is None:
+            baseline = total
+        rows.append([
+            label,
+            f"{total / baseline:.2f}",
+            f"{agg.K_OVERHD / total:.1%}",
+            f"{agg.remote_misses():,}",
+            agg.relocations + agg.migrations,
+        ])
+        print(f"  done: {label}")
+    print()
+    print(format_table(
+        ["Variant", "Rel. time", "Kernel ovhd", "Remote misses",
+         "Remaps/migrations"],
+        rows, title="Relative execution time (CC-NUMA baseline = 1.00)"))
+
+
+if __name__ == "__main__":
+    main()

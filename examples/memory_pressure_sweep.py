@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Memory-pressure sweep: reproduce one whole chart of Figures 2-3.
+
+Sweeps an application across memory pressures for every architecture and
+renders the paper's two stacked-bar chart families (relative execution
+time by component, and where misses were satisfied) as ASCII bars.
+
+This is the paper's central experiment: watch S-COMA collapse as
+pressure rises, R-NUMA/VC-NUMA thrash past ~70%, and AS-COMA converge to
+CC-NUMA instead.
+
+Usage:
+    python examples/memory_pressure_sweep.py [app] [scale]
+    # app in {barnes, em3d, fft, lu, ocean, radix}, default em3d
+"""
+
+import sys
+
+from repro.harness import render_figure
+from repro.harness.experiment import APP_PRESSURES
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "em3d"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    if app not in APP_PRESSURES:
+        raise SystemExit(f"unknown app {app!r}; choose from"
+                         f" {sorted(APP_PRESSURES)}")
+    pressures = ", ".join(f"{p:.0%}" for p in APP_PRESSURES[app])
+    print(f"Sweeping {app} across pressures {pressures}"
+          f" on 5 architectures (scale {scale})...\n")
+    print(render_figure(app, scale=scale))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on all five architectures.
+
+Runs the paper's em3d workload at a memory pressure of your choice on
+CC-NUMA, pure S-COMA, R-NUMA, VC-NUMA and AS-COMA, and prints each
+architecture's execution time relative to CC-NUMA plus the execution-time
+breakdown -- a single column of the paper's Figure 2.
+
+Usage:
+    python examples/quickstart.py [pressure]      # default 0.7
+"""
+
+import sys
+
+from repro import SystemConfig, simulate
+from repro.harness import format_table, scaled_policy
+from repro.sim.stats import TIME_BUCKETS
+from repro.workloads import generate_workload
+
+
+def main() -> None:
+    pressure = float(sys.argv[1]) if len(sys.argv) > 1 else 0.7
+    print(f"Generating em3d workload (memory pressure {pressure:.0%})...")
+    workload = generate_workload("em3d", scale=0.5)
+    config = SystemConfig(n_nodes=workload.n_nodes, memory_pressure=pressure)
+
+    results = {}
+    for arch in ("CCNUMA", "SCOMA", "RNUMA", "VCNUMA", "ASCOMA"):
+        results[arch] = simulate(workload, scaled_policy(arch), config)
+        print(f"  {arch}: done")
+
+    baseline = results["CCNUMA"].aggregate().total_cycles()
+    rows = []
+    for arch, result in results.items():
+        agg = result.aggregate()
+        total = agg.total_cycles()
+        rows.append([
+            arch,
+            f"{total / baseline:.2f}",
+            f"{agg.K_OVERHD / total:.1%}",
+            agg.relocations,
+            agg.evictions,
+            f"{agg.SCOMA:,}",
+            f"{agg.COLD + agg.CONF_CAPC:,}",
+        ])
+    print()
+    print(format_table(
+        ["Architecture", "Rel. time", "Kernel ovhd", "Relocations",
+         "Evictions", "Page-cache hits", "Remote misses"],
+        rows,
+        title=f"em3d at {pressure:.0%} memory pressure"
+              " (execution time relative to CC-NUMA)"))
+
+    print("\nAS-COMA time breakdown (cycles):")
+    agg = results["ASCOMA"].aggregate()
+    for bucket in TIME_BUCKETS:
+        print(f"  {bucket:9s} {getattr(agg, bucket):>14,}")
+
+
+if __name__ == "__main__":
+    main()

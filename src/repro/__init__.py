@@ -1,0 +1,41 @@
+"""repro -- reproduction of "AS-COMA: An Adaptive Hybrid Shared Memory
+Architecture" (Kuo, Carter, Kuramkote, Swanson; Univ. of Utah, 1998).
+
+A trace-driven simulator of page-grained hybrid CC-NUMA / S-COMA
+distributed shared memory, with the paper's five architectures
+(CC-NUMA, S-COMA, R-NUMA, VC-NUMA, AS-COMA), the full memory-hierarchy
+and OS substrates they run on, the six evaluation workloads, and a
+harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import simulate, make_policy, SystemConfig
+    from repro.workloads import generate_workload
+
+    wl = generate_workload("em3d", scale=0.5)
+    cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=0.7)
+    result = simulate(wl, make_policy("ascoma"), cfg)
+    print(result.summary())
+"""
+
+from .core import (ASCOMAPolicy, CCNUMAPolicy, POLICIES, RNUMAPolicy,
+                   SCOMAPolicy, VCNUMAPolicy, make_policy)
+from .sim import Engine, RunResult, SystemConfig, WorkloadTraces, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASCOMAPolicy",
+    "CCNUMAPolicy",
+    "Engine",
+    "POLICIES",
+    "RNUMAPolicy",
+    "RunResult",
+    "SCOMAPolicy",
+    "SystemConfig",
+    "VCNUMAPolicy",
+    "WorkloadTraces",
+    "__version__",
+    "make_policy",
+    "simulate",
+]

@@ -1,0 +1,15 @@
+"""Directory-based write-invalidate coherence over 128-byte DSM chunks."""
+
+from .directory import Directory, FetchOutcome
+from .messages import Message, MessageLog, MsgKind
+from .protocol import CoherenceProtocol, RemoteResult
+
+__all__ = [
+    "CoherenceProtocol",
+    "Directory",
+    "FetchOutcome",
+    "Message",
+    "MessageLog",
+    "MsgKind",
+    "RemoteResult",
+]

@@ -1,0 +1,206 @@
+"""Directory controller state: per-chunk sharing state and per-page
+per-node refetch counters.
+
+Every page has a home node; the home's directory controller tracks, for
+each 128-byte chunk of the page, the *copyset* of nodes caching the
+chunk and the identity of a dirty owner if one exists (Section 2.1).
+
+The hybrid architectures additionally keep, per page and per remote
+node, a counter of *refetches*: requests from a node that is already a
+member of the chunk's copyset.  Such a request can only be a
+conflict/capacity miss -- the node had the data and lost it to cache
+pressure -- so a high refetch count marks a "hot" page worth remapping
+into the requester's S-COMA page cache (Section 2.4).  When the counter
+crosses the requester's current threshold the directory piggybacks a
+relocation hint on the data response.
+
+Copysets are integer bitmasks over node ids, keeping the hot path to a
+couple of integer ops per request.
+"""
+
+from __future__ import annotations
+
+from .messages import Message, MessageLog, MsgKind
+
+__all__ = ["Directory", "FetchOutcome"]
+
+
+class FetchOutcome:
+    """Result of one directory transaction, consumed by the engine.
+
+    Attributes
+    ----------
+    refetch:
+        The requester was already in the chunk's copyset (conflict or
+        capacity miss).  Drives both miss classification (CONF/CAPC vs
+        COLD) and refetch counting.
+    forwarded:
+        A dirty remote owner had to service the request (3-hop
+        transaction, extra network latency).
+    invalidations:
+        Nodes whose cached copies were invalidated (write requests).
+        The engine flushes the chunk from those nodes' caches.
+    relocation_hint:
+        The requester's refetch counter for this page crossed its
+        threshold; the DSM engine should raise a relocation interrupt.
+    """
+
+    __slots__ = ("refetch", "forwarded", "invalidations", "relocation_hint",
+                 "prev_owner", "exclusive")
+
+    def __init__(self, refetch: bool, forwarded: bool,
+                 invalidations: tuple[int, ...], relocation_hint: bool,
+                 prev_owner: int = -1, exclusive: bool = False) -> None:
+        self.refetch = refetch
+        self.forwarded = forwarded
+        self.invalidations = invalidations
+        self.relocation_hint = relocation_hint
+        #: Node that held the chunk dirty before this request (-1 none).
+        self.prev_owner = prev_owner
+        #: MESI only: a read was granted Exclusive (no other sharers),
+        #: so the requester may write later without an upgrade.
+        self.exclusive = exclusive
+
+
+class Directory:
+    """Machine-wide directory state (conceptually distributed per home node).
+
+    The physical distribution across home nodes does not affect
+    behaviour -- each page's state is only ever touched through its home
+    -- so a single object keeps the bookkeeping simple and fast.
+    """
+
+    def __init__(self, n_nodes: int, chunks_per_page: int,
+                 log: MessageLog | None = None,
+                 grant_exclusive: bool = False) -> None:
+        if n_nodes <= 0:
+            raise ValueError("need at least one node")
+        self.n_nodes = n_nodes
+        self.chunks_per_page = chunks_per_page
+        #: MESI mode: a read miss with an empty copyset is granted
+        #: Exclusive, letting the reader write later with no upgrade
+        #: transaction (classic E-state optimisation).
+        self.grant_exclusive = grant_exclusive
+        self.exclusive_grants = 0
+        # chunk -> copyset bitmask; missing means uncached anywhere.
+        self.copyset: dict[int, int] = {}
+        # chunk -> dirty owner node id; missing means clean.
+        self.owner: dict[int, int] = {}
+        # (page, node) -> refetch count since last relocation/reset.
+        self.refetch_count: dict[tuple[int, int], int] = {}
+        self.log = log
+        # Aggregate counters (Table 6 and general stats).
+        self.total_refetches = 0
+        self.relocation_hints = 0
+        self.forwards = 0
+        self.invalidations_sent = 0
+
+    # ------------------------------------------------------------------
+    def fetch(self, node: int, chunk: int, page: int, is_write: bool,
+              threshold: int, count_refetch: bool = True,
+              home: int = 0) -> FetchOutcome:
+        """Process a GET/GETX for *chunk* of *page* from *node*.
+
+        *threshold* is the requester's current relocation threshold; 0
+        or negative disables relocation hints (CC-NUMA, pure S-COMA, or
+        an AS-COMA node that has turned relocation off).
+        *count_refetch* lets S-COMA-mode accesses skip hot-page
+        accounting (an S-COMA page is already local; its refetches are
+        coherence-driven and must not re-trigger relocation).
+        """
+        bit = 1 << node
+        cs = self.copyset.get(chunk, 0)
+        refetch = bool(cs & bit)
+        forwarded = False
+        exclusive = False
+        invalidations: tuple[int, ...] = ()
+
+        owner = self.owner.get(chunk, -1)
+        if owner != -1 and owner != node:
+            # Dirty at a third node: home forwards, owner writes back.
+            forwarded = True
+            self.forwards += 1
+            if self.log is not None:
+                self.log.record(Message(MsgKind.FWD, home, owner, chunk))
+            del self.owner[chunk]
+
+        if is_write:
+            others = cs & ~bit
+            if others:
+                invalidations = tuple(n for n in range(self.n_nodes) if others >> n & 1)
+                self.invalidations_sent += len(invalidations)
+                if self.log is not None:
+                    for victim in invalidations:
+                        self.log.record(Message(MsgKind.INV, node, victim, chunk))
+            self.copyset[chunk] = bit
+            self.owner[chunk] = node
+        else:
+            self.copyset[chunk] = cs | bit
+            if owner == node:
+                # Re-read by the owner keeps ownership.
+                pass
+            elif self.grant_exclusive and cs == 0:
+                # MESI: first and only reader takes the chunk Exclusive.
+                self.owner[chunk] = node
+                exclusive = True
+
+        relocation_hint = False
+        if refetch and count_refetch:
+            self.total_refetches += 1
+            if threshold > 0:
+                key = (page, node)
+                count = self.refetch_count.get(key, 0) + 1
+                if count >= threshold:
+                    relocation_hint = True
+                    self.relocation_hints += 1
+                    self.refetch_count[key] = 0
+                else:
+                    self.refetch_count[key] = count
+        if exclusive:
+            self.exclusive_grants += 1
+        if self.log is not None:
+            self.log.record(Message(
+                MsgKind.GETX if is_write else MsgKind.GET, node, home, chunk,
+            ))
+            self.log.record(Message(MsgKind.DATA, home, node, chunk,
+                                    relocation_hint=relocation_hint))
+        return FetchOutcome(refetch, forwarded, invalidations, relocation_hint,
+                            prev_owner=owner if owner != node else -1,
+                            exclusive=exclusive)
+
+    # ------------------------------------------------------------------
+    def drop_node_from_page(self, node: int, page: int) -> int:
+        """Remove *node* from the copysets of every chunk of *page*.
+
+        Called when a page's lines are flushed at *node* (remap in
+        either direction, or S-COMA eviction).  Subsequent accesses by
+        the node become cold remote misses -- the induced cold misses of
+        the paper's Ncold term.  Returns the number of chunks the node
+        was dropped from.
+        """
+        bit = 1 << node
+        clear = ~bit
+        dropped = 0
+        first = page * self.chunks_per_page
+        for chunk in range(first, first + self.chunks_per_page):
+            cs = self.copyset.get(chunk)
+            if cs is not None and cs & bit:
+                self.copyset[chunk] = cs & clear
+                dropped += 1
+                if self.owner.get(chunk) == node:
+                    del self.owner[chunk]  # dirty data written back home
+        return dropped
+
+    def reset_refetch(self, page: int, node: int) -> None:
+        """Reset the hot-page evidence for (page, node) after a remap."""
+        self.refetch_count.pop((page, node), None)
+
+    def refetches_of(self, page: int, node: int) -> int:
+        return self.refetch_count.get((page, node), 0)
+
+    def sharers(self, chunk: int) -> list[int]:
+        cs = self.copyset.get(chunk, 0)
+        return [n for n in range(self.n_nodes) if cs >> n & 1]
+
+    def is_cached_by(self, chunk: int, node: int) -> bool:
+        return bool(self.copyset.get(chunk, 0) >> node & 1)

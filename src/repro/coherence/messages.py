@@ -1,0 +1,78 @@
+"""Typed coherence message records.
+
+The simulator's hot path passes plain tuples for speed, but tests,
+debugging and the optional protocol trace use these records.  Message
+kinds mirror the transactions of a directory-based write-invalidate
+protocol over 128-byte DSM chunks (paper Section 2.1 / 4.1):
+
+* ``GET``   -- read request for a chunk
+* ``GETX``  -- read-exclusive (write) request
+* ``UPGRADE`` -- ownership upgrade for a chunk already cached shared
+* ``FWD``   -- home forwards a request to the dirty owner (3-hop)
+* ``INV``   -- invalidation sent to a sharer
+* ``ACK``   -- invalidation acknowledgement
+* ``DATA``  -- data response (may piggyback a relocation hint, the
+  R-NUMA/AS-COMA mechanism that tells the requester its refetch counter
+  crossed the threshold)
+* ``WB``    -- dirty writeback to home
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["MsgKind", "Message", "MessageLog"]
+
+
+class MsgKind(enum.Enum):
+    GET = "GET"
+    GETX = "GETX"
+    UPGRADE = "UPGRADE"
+    FWD = "FWD"
+    INV = "INV"
+    ACK = "ACK"
+    DATA = "DATA"
+    WB = "WB"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message.  ``relocation_hint`` is only meaningful on DATA."""
+
+    kind: MsgKind
+    src: int
+    dst: int
+    chunk: int
+    relocation_hint: bool = False
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("node ids must be non-negative")
+        if self.chunk < 0:
+            raise ValueError("chunk id must be non-negative")
+
+
+@dataclass
+class MessageLog:
+    """Optional bounded in-memory protocol trace for debugging and tests."""
+
+    limit: int = 100_000
+    messages: list[Message] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, msg: Message) -> None:
+        if len(self.messages) < self.limit:
+            self.messages.append(msg)
+        else:
+            self.dropped += 1
+
+    def of_kind(self, kind: MsgKind) -> list[Message]:
+        return [m for m in self.messages if m.kind is kind]
+
+    def clear(self) -> None:
+        self.messages.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.messages)

@@ -1,0 +1,147 @@
+"""Sequentially-consistent write-invalidate protocol over DSM chunks.
+
+Combines the :class:`~repro.coherence.directory.Directory` with the
+network and the home node's banked memory to produce full transaction
+latencies:
+
+* **2-hop fetch**: requester -> home (request), home memory access,
+  home -> requester (data).
+* **3-hop fetch**: the chunk is dirty at a third node; home forwards the
+  request and the owner supplies the data (extra network leg).
+* **writes**: the home invalidates every other sharer; under sequential
+  consistency the writer stalls until all acknowledgements return, so
+  the invalidation round trip of the *slowest* sharer is added.
+
+The protocol does not know about caches; the machine registers an
+``invalidate_chunk(node, chunk)`` callback through which sharer copies
+(L1 lines, RAC entry, S-COMA valid bits) are destroyed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..interconnect.network import Network
+from ..mem.dram import BankedMemory
+from .directory import Directory, FetchOutcome
+
+__all__ = ["CoherenceProtocol", "RemoteResult"]
+
+
+class RemoteResult:
+    """Latency + directory outcome of one remote transaction."""
+
+    __slots__ = ("latency", "outcome")
+
+    def __init__(self, latency: int, outcome: FetchOutcome) -> None:
+        self.latency = latency
+        self.outcome = outcome
+
+
+class CoherenceProtocol:
+    """Glue object executing whole coherence transactions."""
+
+    def __init__(self, directory: Directory, network: Network,
+                 memories: list[BankedMemory],
+                 invalidate_chunk: Callable[[int, int], None] | None = None,
+                 demote_chunk: Callable[[int, int], None] | None = None,
+                 stall_on_invalidate: bool = True) -> None:
+        self.directory = directory
+        self.network = network
+        self.memories = memories
+        self.invalidate_chunk = invalidate_chunk or (lambda node, chunk: None)
+        #: A read forwarded to a dirty owner demotes it to shared: the
+        #: owner keeps its data but loses write permission.
+        self.demote_chunk = demote_chunk or (lambda node, chunk: None)
+        #: Sequential consistency stalls the writer for the slowest
+        #: invalidation ack; release consistency overlaps them (the
+        #: invalidations still happen -- only the stall differs).
+        self.stall_on_invalidate = stall_on_invalidate
+        self.remote_fetches = 0
+        self.three_hop_fetches = 0
+        self.write_stalls = 0
+
+    # ------------------------------------------------------------------
+    def remote_fetch(self, node: int, chunk: int, page: int, home: int,
+                     is_write: bool, threshold: int, now: int,
+                     count_refetch: bool = True) -> RemoteResult:
+        """Fetch *chunk* from its remote *home* on behalf of *node*."""
+        outcome = self.directory.fetch(node, chunk, page, is_write,
+                                       threshold, count_refetch, home=home)
+        net = self.network
+        lat = net.one_way(node, home, now)                  # request
+        lat += self.memories[home].access(chunk, now + lat)  # home DRAM/dir
+        if outcome.forwarded:
+            # Home -> owner -> requester instead of home -> requester.
+            self.three_hop_fetches += 1
+            lat += net.one_way(home, node, now + lat)  # forward leg (approx: same cost class)
+            if not is_write and outcome.prev_owner >= 0:
+                self.demote_chunk(outcome.prev_owner, chunk)
+        lat += net.one_way(home, node, now + lat)           # data response
+        if outcome.invalidations:
+            lat += self._invalidate_all(outcome.invalidations, chunk, home,
+                                        now + lat)
+        self.remote_fetches += 1
+        return RemoteResult(lat, outcome)
+
+    def _invalidate_all(self, sharers, chunk: int, origin: int,
+                        now: int) -> int:
+        """Invalidate every sharer; returns the writer's stall cycles
+        (the slowest ack under SC, zero under RC)."""
+        worst = 0
+        for sharer in sharers:
+            self.invalidate_chunk(sharer, chunk)
+            rt = self.network.round_trip(origin, sharer, now)
+            if rt > worst:
+                worst = rt
+        self.write_stalls += 1
+        return worst if self.stall_on_invalidate else 0
+
+    def local_fetch(self, node: int, chunk: int, page: int, is_write: bool,
+                    now: int) -> RemoteResult:
+        """Access a chunk whose home is the requesting node itself.
+
+        Still goes through the directory (a remote node may hold the
+        chunk dirty, or sharers may need invalidating on a write), but
+        the data normally comes from local DRAM.
+        """
+        outcome = self.directory.fetch(node, chunk, page, is_write,
+                                       threshold=0, count_refetch=False,
+                                       home=node)
+        lat = self.memories[node].access(chunk, now)
+        net = self.network
+        if outcome.forwarded:
+            # Dirty at a remote node: full round trip to retrieve it.
+            self.three_hop_fetches += 1
+            owner = outcome.prev_owner if outcome.prev_owner >= 0 else self._any_remote(node)
+            lat += net.round_trip(node, owner, now + lat)
+            if not is_write and outcome.prev_owner >= 0:
+                self.demote_chunk(outcome.prev_owner, chunk)
+        if outcome.invalidations:
+            lat += self._invalidate_all(outcome.invalidations, chunk, node,
+                                        now + lat)
+        return RemoteResult(lat, outcome)
+
+    def upgrade(self, node: int, chunk: int, page: int, home: int,
+                now: int) -> int:
+        """Ownership upgrade for a chunk already cached shared at *node*.
+
+        Returns the stall latency.  Counted separately from misses: the
+        data is already local, only permission travels.
+        """
+        outcome = self.directory.fetch(node, chunk, page, True,
+                                       threshold=0, count_refetch=False,
+                                       home=home)
+        net = self.network
+        if home == node:
+            lat = 0
+        else:
+            lat = net.round_trip(node, home, now)
+        if outcome.invalidations:
+            lat += self._invalidate_all(outcome.invalidations, chunk, home,
+                                        now + lat)
+        return lat
+
+    def _any_remote(self, node: int) -> int:
+        """Representative remote node id for latency purposes."""
+        return (node + 1) % self.directory.n_nodes

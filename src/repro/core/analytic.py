@@ -1,0 +1,130 @@
+"""Analytic remote-overhead model (paper Tables 1 and 2, Section 2.1).
+
+The paper expresses each architecture's remote access overhead as::
+
+    (Npagecache * Tpagecache) + (Nremote * Tremote)
+        + (Ncold * Tremote) + Toverhead
+
+where the terms present depend on the architecture:
+
+* CC-NUMA:   (Nremote * Tremote)                      -- no page cache,
+  no remapping, Ncold == 0 and Toverhead == 0 by construction.
+* S-COMA:    (Npagecache * Tpagecache) + (Ncold * Tremote) + Toverhead
+  -- a conflict miss is either satisfied by the page cache or is a
+  (possibly induced) cold miss; there are no CC-NUMA-mode remote pages.
+* Hybrids:   all four terms.
+
+:class:`RemoteOverheadModel` evaluates the formula from measured miss
+counts, which lets the test suite cross-check the simulator's
+accounting (the simulated shared-memory stall time must track the
+analytic prediction built from its own miss counters), and lets the
+Table 1 bench print the formula next to a concrete evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MissCounts", "RemoteOverheadModel", "TABLE1_ROWS", "TABLE2_ROWS"]
+
+
+@dataclass(frozen=True)
+class MissCounts:
+    """Measured shared-data miss counts (the N-terms of Table 1)."""
+
+    n_pagecache: int = 0  #: conflict misses satisfied by the local page cache
+    n_remote: int = 0     #: conflict/capacity misses that went remote
+    n_cold: int = 0       #: cold misses (essential + remapping-induced)
+    t_overhead: int = 0   #: software overhead cycles (Toverhead, measured)
+
+    def __post_init__(self) -> None:
+        for name in ("n_pagecache", "n_remote", "n_cold", "t_overhead"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class RemoteOverheadModel:
+    """Latency parameters (the T-terms of Table 1), in cycles."""
+
+    t_pagecache: int = 50   #: local page-cache (DRAM) access
+    t_remote: int = 180     #: remote memory access
+
+    def __post_init__(self) -> None:
+        if self.t_pagecache <= 0 or self.t_remote <= 0:
+            raise ValueError("latencies must be positive")
+        if self.t_remote < self.t_pagecache:
+            raise ValueError("remote latency cannot be below local latency")
+
+    # -- per-architecture formulas ---------------------------------------
+    def ccnuma(self, m: MissCounts) -> int:
+        """CC-NUMA: every conflict miss to remote data goes remote."""
+        return m.n_remote * self.t_remote
+
+    def scoma(self, m: MissCounts) -> int:
+        """Pure S-COMA: page-cache hits + (induced) cold misses + kernel."""
+        return (m.n_pagecache * self.t_pagecache
+                + m.n_cold * self.t_remote
+                + m.t_overhead)
+
+    def hybrid(self, m: MissCounts) -> int:
+        """R-NUMA / VC-NUMA / AS-COMA: all four terms."""
+        return (m.n_pagecache * self.t_pagecache
+                + m.n_remote * self.t_remote
+                + m.n_cold * self.t_remote
+                + m.t_overhead)
+
+    def evaluate(self, architecture: str, m: MissCounts) -> int:
+        arch = architecture.upper()
+        if arch == "CCNUMA":
+            return self.ccnuma(m)
+        if arch == "SCOMA":
+            return self.scoma(m)
+        if arch in ("RNUMA", "VCNUMA", "ASCOMA", "HYBRID"):
+            return self.hybrid(m)
+        raise ValueError(f"unknown architecture {architecture!r}")
+
+
+#: Table 1 of the paper: remote memory overhead and performance factors.
+TABLE1_ROWS = [
+    {
+        "model": "CC-NUMA",
+        "remote_overhead": "(Nremote x Tremote)",
+        "performance_factors": ["Network speed"],
+    },
+    {
+        "model": "S-COMA",
+        "remote_overhead": "(Npagecache x Tpagecache) + (Ncold x Tremote)"
+                           " + Toverhead",
+        "performance_factors": ["Network speed", "Software overhead"],
+    },
+    {
+        "model": "Hybrid Architectures",
+        "remote_overhead": "(Npagecache x Tpagecache) + (Nremote x Tremote)"
+                           " + (Ncold x Tremote) + Toverhead",
+        "performance_factors": ["Network speed", "Software overhead"],
+    },
+]
+
+#: Table 2 of the paper: storage cost and complexity.
+TABLE2_ROWS = [
+    {
+        "model": "CC-NUMA",
+        "storage_cost": "None",
+        "complexity": "None",
+    },
+    {
+        "model": "S-COMA",
+        "storage_cost": "Page cache state: 2 bits per block, 32 bits per page",
+        "complexity": "1. Page cache state lookup  2. local <-> remote page map"
+                      "  3. Page-daemon and VM kernel",
+    },
+    {
+        "model": "Hybrid Architectures",
+        "storage_cost": "Page cache state: 2 bits per block, 32 bits per page;"
+                        " Refetch Count: 8 bits per page per node",
+        "complexity": "1. Page cache state controller  2. local <-> remote page"
+                      " map  3. Page-daemon and VM kernel  4. Refetch counter,"
+                      " comparator and interrupt generator",
+    },
+]

@@ -1,0 +1,101 @@
+"""Architecture policy interface.
+
+An :class:`ArchitecturePolicy` is what distinguishes CC-NUMA, S-COMA,
+R-NUMA, VC-NUMA and AS-COMA in this simulator: the memory hierarchy,
+coherence protocol, kernel cost model and workloads are identical across
+architectures (as they are in the paper's Paint setup); only the
+page-management decisions differ.  A policy decides:
+
+* the **initial mapping mode** of a remote page on first touch
+  (Section 3: AS-COMA prefers S-COMA while free pages last; the other
+  hybrids and CC-NUMA start in CC-NUMA mode; pure S-COMA has no choice);
+* the current **relocation threshold** the directory should apply to
+  refetch counters (0 disables counting);
+* whether to **act on a relocation hint**, and whether a relocation may
+  forcibly evict another page when the free pool is dry;
+* how to react to the **pageout daemon's outcome** (thrashing backoff);
+* bookkeeping on **page eviction** (VC-NUMA's break-even evaluation).
+
+Policies are stateless singletons; all mutable per-node state lives in a
+:class:`PolicyNodeState` so one policy object can serve every node.
+"""
+
+from __future__ import annotations
+
+from ..kernel.pageout import DaemonRunResult, PageoutDaemon
+from ..kernel.vm import PageMode
+
+__all__ = ["ArchitecturePolicy", "PolicyNodeState", "RelocationDecision"]
+
+
+class RelocationDecision:
+    """What to do with a relocation hint."""
+
+    RELOCATE = "relocate"          #: take a free frame (or force-evict) and remap
+    RELOCATE_IF_FREE = "if_free"   #: remap only if a free frame is available
+    MIGRATE = "migrate"            #: move the page's *home* to this node
+    SKIP = "skip"                  #: ignore the hint
+
+
+class PolicyNodeState:
+    """Per-node mutable policy state.
+
+    Subclassed by policies that need extra bookkeeping; the base class
+    covers the common threshold/enable machinery.
+    """
+
+    __slots__ = ("threshold", "relocation_enabled", "relocations",
+                 "skipped_relocations", "thrash_backoffs", "threshold_recoveries")
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self.relocation_enabled = threshold > 0
+        self.relocations = 0
+        self.skipped_relocations = 0
+        self.thrash_backoffs = 0
+        self.threshold_recoveries = 0
+
+    def effective_threshold(self) -> int:
+        """Threshold the directory should enforce (0 = no counting)."""
+        return self.threshold if self.relocation_enabled else 0
+
+
+class ArchitecturePolicy:
+    """Base class; concrete architectures override the hooks they need."""
+
+    #: Display name used by the harness ("CCNUMA", "ASCOMA", ...).
+    name: str = "base"
+    #: Whether this architecture uses local frames as a remote-page cache.
+    uses_page_cache: bool = True
+    #: Pure S-COMA unmaps evicted pages entirely (next touch re-faults);
+    #: hybrids downgrade them to CC-NUMA mode.
+    evict_to_ccnuma: bool = True
+    #: Pure S-COMA *must* back every remote page with a local frame, so
+    #: it force-evicts at fault time and needs a non-empty page cache.
+    mandatory_page_cache: bool = False
+
+    def make_node_state(self) -> PolicyNodeState:
+        return PolicyNodeState(threshold=0)
+
+    # -- hooks ----------------------------------------------------------
+    def initial_mode(self, state: PolicyNodeState, free_frames: int) -> int:
+        """Mapping mode for a first-touch to a *remote* page."""
+        raise NotImplementedError
+
+    def on_relocation_hint(self, state: PolicyNodeState,
+                           free_frames: int) -> str:
+        """React to a piggybacked relocation hint from the directory."""
+        return RelocationDecision.SKIP
+
+    def on_daemon_result(self, state: PolicyNodeState,
+                         result: DaemonRunResult,
+                         daemon: PageoutDaemon) -> None:
+        """React to a pageout-daemon run (thrashing backoff lives here)."""
+
+    def on_page_evicted(self, state: PolicyNodeState, page: int,
+                        pagecache_hits: int) -> None:
+        """Bookkeeping when one of the node's S-COMA pages is evicted."""
+
+    def describe(self) -> dict:
+        """Static description used by the Table 2 cost/complexity emitter."""
+        return {"name": self.name, "uses_page_cache": self.uses_page_cache}

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table N``            regenerate paper Table N (1-6)
+``figure APP``         regenerate the Figure 2/3 charts for one app
+``run APP ARCH``       one simulation, summary printed
+``sweep APP``          pressure sweep for one app across architectures
+``claims``             run the paper-claim scorecard
+``hotpages APP ARCH``  hot-page report after one run
+``analyze APP``        workload characterisation (tracestats)
+
+Every command accepts ``--scale`` (workload scale, default 0.5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AS-COMA reproduction: tables, figures and simulations")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload scale factor (default 0.5)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=range(1, 7))
+
+    p = sub.add_parser("figure", help="regenerate one app's Figure 2/3 charts")
+    p.add_argument("app")
+
+    p = sub.add_parser("run", help="run one simulation")
+    p.add_argument("app")
+    p.add_argument("arch")
+    p.add_argument("--pressure", type=float, default=0.7)
+
+    p = sub.add_parser("sweep", help="pressure sweep for one app")
+    p.add_argument("app")
+
+    sub.add_parser("claims", help="paper-claim scorecard")
+
+    p = sub.add_parser("hotpages", help="hot-page report after one run")
+    p.add_argument("app")
+    p.add_argument("arch")
+    p.add_argument("--pressure", type=float, default=0.7)
+
+    p = sub.add_parser("analyze", help="characterise a workload")
+    p.add_argument("app")
+    return parser
+
+
+def _cmd_table(args) -> str:
+    from . import (render_table1, render_table2, render_table3,
+                   render_table4, render_table5, render_table6)
+    renderers = {1: render_table1, 2: render_table2, 3: render_table3,
+                 4: render_table4}
+    if args.number in renderers:
+        return renderers[args.number]()
+    if args.number == 5:
+        return render_table5(args.scale)
+    return render_table6(args.scale)
+
+
+def _cmd_figure(args) -> str:
+    from .figures import render_figure
+    return render_figure(args.app, scale=args.scale)
+
+
+def _cmd_run(args) -> str:
+    from .experiment import run_app
+    result = run_app(args.app, args.arch, args.pressure, scale=args.scale)
+    agg = result.aggregate()
+    lines = [f"{args.app} / {result.architecture} at "
+             f"{args.pressure:.0%} memory pressure:",
+             f"  execution time : {result.execution_time():,} cycles",
+             f"  time breakdown : " + "  ".join(
+                 f"{k}={v:,}" for k, v in agg.time_breakdown().items()),
+             f"  misses         : " + "  ".join(
+                 f"{k}={v:,}" for k, v in agg.miss_breakdown().items()),
+             f"  page mgmt      : {agg.relocations} relocations,"
+             f" {agg.evictions} evictions, {agg.migrations} migrations,"
+             f" {agg.daemon_runs} daemon runs"]
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args) -> str:
+    from .experiment import APP_PRESSURES, ARCHITECTURES, run_app
+    from .report import format_table
+    pressures = APP_PRESSURES.get(args.app, (0.1, 0.5, 0.9))
+    baseline = run_app(args.app, "CCNUMA", pressures[0],
+                       scale=args.scale).aggregate().total_cycles()
+    rows = []
+    for arch in ARCHITECTURES:
+        row = [arch]
+        for pressure in pressures:
+            total = run_app(args.app, arch, pressure,
+                            scale=args.scale).aggregate().total_cycles()
+            row.append(f"{total / baseline:.2f}")
+        rows.append(row)
+    headers = ["Architecture"] + [f"{p:.0%}" for p in pressures]
+    return format_table(headers, rows,
+                        title=f"{args.app}: execution time relative to"
+                              " CC-NUMA at the lowest pressure")
+
+
+def _cmd_claims(args) -> str:
+    from .claims import render_scorecard, validate_all
+    return render_scorecard(validate_all(scale=args.scale))
+
+
+def _cmd_hotpages(args) -> str:
+    from ..sim.config import SystemConfig
+    from ..sim.engine import Engine
+    from ..workloads import generate_workload
+    from .experiment import scaled_policy
+    from .pagereport import render_hot_pages
+    wl = generate_workload(args.app, scale=args.scale)
+    cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=args.pressure)
+    engine = Engine(wl, scaled_policy(args.arch), cfg)
+    engine.run()
+    return render_hot_pages(engine)
+
+
+def _cmd_analyze(args) -> str:
+    from ..sim.config import SystemConfig
+    from ..sim.tracestats import analyze
+    from ..workloads import generate_workload
+    wl = generate_workload(args.app, scale=args.scale)
+    lpp = SystemConfig(n_nodes=wl.n_nodes).address_map().lines_per_page
+    report = analyze(wl, lpp)
+    lines = [f"{report['name']}: {report['n_nodes']} nodes,"
+             f" H={report['home_pages_per_node']},"
+             f" Rmax={report['max_remote_pages']},"
+             f" ideal pressure {report['ideal_pressure']:.0%}",
+             "sharing profile: " + ", ".join(
+                 f"{k} nodes: {v} pages" for k, v in report["sharing"].items())]
+    for s in report["nodes"]:
+        lines.append(f"  node {s['node']}: {s['shared_refs']:,} refs,"
+                     f" {s['remote_pages']} remote pages,"
+                     f" median reuse {s['median_reuse_distance']:.0f}")
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "claims": _cmd_claims,
+    "hotpages": _cmd_hotpages,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        output = _COMMANDS[args.command](args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Crossover-pressure analysis: where does an architecture stop winning?
+
+Ties Table 5 to Figures 2-3: the paper's *ideal pressure* (H/(H+Rmax))
+is the analytic point below which S-COMA never evicts; the *crossover
+pressure* found here is the measured point where an architecture's
+execution time crosses CC-NUMA's.  For pure S-COMA the crossover must
+sit at or above the ideal pressure (it keeps winning until the page
+cache stops covering the working set, then collapses); for AS-COMA
+there should be no crossover at all on most applications.
+
+``find_crossover`` runs a bisection over memory pressure, exploiting
+that relative time is monotone in pressure for the cache-dependent
+architectures.
+"""
+
+from __future__ import annotations
+
+from .experiment import DEFAULT_SCALE, get_workload, run_app, scaled_policy
+
+__all__ = ["relative_time_at", "find_crossover", "crossover_report"]
+
+
+def relative_time_at(app: str, arch: str, pressure: float,
+                     scale: float = DEFAULT_SCALE,
+                     _baseline_cache: dict = {}) -> float:
+    """Execution time of (app, arch, pressure) relative to CC-NUMA."""
+    key = (app, scale)
+    if key not in _baseline_cache:
+        _baseline_cache[key] = run_app(app, "CCNUMA", 0.5,
+                                       scale).aggregate().total_cycles()
+    total = run_app(app, arch, pressure, scale).aggregate().total_cycles()
+    return total / _baseline_cache[key]
+
+
+def find_crossover(app: str, arch: str, lo: float = 0.05, hi: float = 0.95,
+                   tol: float = 0.02, scale: float = DEFAULT_SCALE,
+                   threshold: float = 1.0) -> float | None:
+    """Bisect for the lowest pressure where *arch* stops beating CC-NUMA.
+
+    Returns None when the architecture never crosses in [lo, hi] --
+    either it always wins (AS-COMA on lu) or never does.
+    """
+    rel_lo = relative_time_at(app, arch, lo, scale)
+    rel_hi = relative_time_at(app, arch, hi, scale)
+    if rel_lo >= threshold:
+        return lo if rel_hi >= threshold else None
+    if rel_hi < threshold:
+        return None
+    while hi - lo > tol:
+        mid = (lo + hi) / 2
+        if relative_time_at(app, arch, mid, scale) >= threshold:
+            hi = mid
+        else:
+            lo = mid
+    return (lo + hi) / 2
+
+
+def crossover_report(apps=("em3d", "radix", "fft"),
+                     archs=("SCOMA", "RNUMA", "ASCOMA"),
+                     scale: float = DEFAULT_SCALE) -> list[dict]:
+    """Crossover pressure vs ideal pressure for a set of apps."""
+    rows = []
+    for app in apps:
+        workload = get_workload(app, scale)
+        ideal = workload.params["spec"]["ideal_pressure"]
+        for arch in archs:
+            crossover = find_crossover(app, arch, scale=scale)
+            rows.append({
+                "app": app,
+                "arch": arch,
+                "ideal_pressure": round(ideal, 2),
+                "crossover_pressure": (round(crossover, 2)
+                                       if crossover is not None else None),
+            })
+    return rows

@@ -1,0 +1,107 @@
+"""Regenerators for the paper's Figures 2 and 3.
+
+Each application gets two chart families (Section 5):
+
+* **left charts** -- execution time relative to CC-NUMA, broken into
+  U-SH-MEM / K-BASE / K-OVERHD / U-INSTR / U-LC-MEM / SYNC;
+* **right charts** -- where cache misses to shared data were satisfied:
+  HOME / SCOMA / RAC / COLD / CONF-CAPC.
+
+``figure_series`` produces the numeric series; ``render_figure``
+renders both charts as ASCII stacked bars with the paper's bar labels
+("ASCOMA(70%)" etc.).
+"""
+
+from __future__ import annotations
+
+from ..sim.stats import MISS_CLASSES, TIME_BUCKETS
+from .experiment import (APP_PRESSURES, ARCHITECTURES, DEFAULT_SCALE,
+                         run_pressure_sweep)
+from .report import format_stacked_bars
+
+__all__ = ["figure_series", "render_figure", "export_csv", "FIGURE_APPS"]
+
+#: Figure 2 shows barnes/em3d/fft; Figure 3 shows lu/ocean/radix.
+FIGURE_APPS = {
+    "figure2": ("barnes", "em3d", "fft"),
+    "figure3": ("lu", "ocean", "radix"),
+}
+
+
+def _bar_label(arch: str, pressure: float | None) -> str:
+    if pressure is None:
+        return arch
+    return f"{arch}({int(round(pressure * 100))}%)"
+
+
+def figure_series(app: str, scale: float = DEFAULT_SCALE,
+                  results: dict | None = None) -> dict:
+    """Numeric chart series for one application.
+
+    Returns ``{"time": {label: {bucket: rel_value}},
+               "misses": {label: {class: count}},
+               "relative_total": {label: float}}``
+    where time values are normalised to CC-NUMA's aggregate total, as
+    the paper's left charts are.
+    """
+    results = results or run_pressure_sweep(app, scale=scale)
+    baseline_total = results[("CCNUMA", None)].aggregate().total_cycles()
+
+    time_series: dict = {}
+    miss_series: dict = {}
+    rel_total: dict = {}
+    order = [("CCNUMA", None)] + [
+        (arch, p) for arch in ARCHITECTURES if arch != "CCNUMA"
+        for p in APP_PRESSURES[app] if (arch, p) in results
+    ]
+    for key in order:
+        arch, pressure = key
+        result = results[key]
+        label = _bar_label(arch, pressure)
+        agg = result.aggregate()
+        time_series[label] = {b: getattr(agg, b) / baseline_total
+                              for b in TIME_BUCKETS}
+        miss_series[label] = {m: getattr(agg, m) for m in MISS_CLASSES}
+        rel_total[label] = agg.total_cycles() / baseline_total
+    return {"time": time_series, "misses": miss_series,
+            "relative_total": rel_total}
+
+
+def render_figure(app: str, scale: float = DEFAULT_SCALE,
+                  results: dict | None = None) -> str:
+    """Both charts for one application as ASCII stacked bars."""
+    series = figure_series(app, scale, results)
+    left = format_stacked_bars(
+        series["time"], order=list(TIME_BUCKETS), width=60,
+        title=f"{app.upper()}: execution time relative to CC-NUMA"
+              " (components of Figures 2-3, left)")
+    right = format_stacked_bars(
+        {k: {m: float(v) for m, v in parts.items()}
+         for k, parts in series["misses"].items()},
+        order=list(MISS_CLASSES), width=60,
+        title=f"{app.upper()}: where shared-data misses were satisfied"
+              " (Figures 2-3, right)")
+    return left + "\n\n" + right
+
+
+def export_csv(app: str, path: str, scale: float = DEFAULT_SCALE,
+               results: dict | None = None) -> None:
+    """Write one application's figure series as CSV.
+
+    Columns: bar label, relative total, the six time components
+    (normalised to CC-NUMA) and the five miss-class counts -- everything
+    needed to re-plot Figures 2-3 in any external tool.
+    """
+    series = figure_series(app, scale, results)
+    with open(path, "w") as fh:
+        header = (["label", "relative_total"]
+                  + [f"time_{b}" for b in TIME_BUCKETS]
+                  + [f"miss_{m}" for m in MISS_CLASSES])
+        fh.write(",".join(header) + "\n")
+        for label, rel in series["relative_total"].items():
+            time_parts = series["time"][label]
+            miss_parts = series["misses"][label]
+            row = ([label, f"{rel:.6f}"]
+                   + [f"{time_parts[b]:.6f}" for b in TIME_BUCKETS]
+                   + [str(miss_parts[m]) for m in MISS_CLASSES])
+            fh.write(",".join(row) + "\n")

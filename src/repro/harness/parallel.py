@@ -1,0 +1,79 @@
+"""Parallel execution of the evaluation matrix.
+
+The full Figure 2/3 matrix is ~100 independent simulations; this module
+fans them out over a process pool.  Runs are identified by
+``(app, arch, pressure, scale)`` tuples so workers regenerate workloads
+locally (traces are deterministic; shipping them through pickle would
+cost more than regenerating).  Results come back as
+:class:`~repro.sim.stats.RunResult` objects, which pickle cleanly.
+
+Used by the CLI's ``sweep --parallel`` path and available as a library
+call for large parameter studies::
+
+    from repro.harness.parallel import run_cells
+    results = run_cells([("em3d", "ASCOMA", p, 0.5)
+                         for p in (0.1, 0.3, 0.5, 0.7, 0.9)])
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from ..sim.stats import RunResult
+
+__all__ = ["run_cell", "run_cells", "run_matrix_parallel"]
+
+
+def run_cell(cell: tuple) -> RunResult:
+    """Worker entry: one (app, arch, pressure, scale) simulation.
+
+    Module-level so it pickles for the process pool; imports stay inside
+    so workers only pay for what they use.
+    """
+    app, arch, pressure, scale = cell
+    from .experiment import run_app
+    return run_app(app, arch, pressure, scale=scale)
+
+
+def run_cells(cells: list[tuple], max_workers: int | None = None,
+              parallel: bool = True) -> dict[tuple, RunResult]:
+    """Run many matrix cells, in parallel by default.
+
+    Returns ``{cell: RunResult}``.  ``parallel=False`` runs inline
+    (deterministic single-process path for tests and debugging).
+    """
+    cells = list(cells)
+    if not parallel or len(cells) <= 1:
+        return {cell: run_cell(cell) for cell in cells}
+    workers = max_workers or min(len(cells), os.cpu_count() or 2)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        results = pool.map(run_cell, cells)
+        return dict(zip(cells, results))
+
+
+def run_matrix_parallel(apps=None, scale: float = 0.5,
+                        max_workers: int | None = None) -> dict:
+    """The paper's whole matrix, fanned out: {app: {(arch, p): result}}.
+
+    CC-NUMA runs once per app (pressure-insensitive) under the key
+    ``(\"CCNUMA\", None)``, as in
+    :func:`repro.harness.experiment.run_pressure_sweep`.
+    """
+    from .experiment import APP_PRESSURES, ARCHITECTURES
+    apps = apps or tuple(APP_PRESSURES)
+    cells = []
+    for app in apps:
+        pressures = APP_PRESSURES[app]
+        cells.append((app, "CCNUMA", pressures[0], scale))
+        for arch in ARCHITECTURES:
+            if arch == "CCNUMA":
+                continue
+            for pressure in pressures:
+                cells.append((app, arch, pressure, scale))
+    flat = run_cells(cells, max_workers=max_workers)
+    out: dict = {app: {} for app in apps}
+    for (app, arch, pressure, _), result in flat.items():
+        key = ("CCNUMA", None) if arch == "CCNUMA" else (arch, pressure)
+        out[app][key] = result
+    return out

@@ -1,0 +1,69 @@
+"""Plain-text rendering of tables and chart series.
+
+The paper's artifacts are tables and stacked-bar charts; in a terminal
+we render both as aligned text tables.  These helpers are deliberately
+dependency-free (no matplotlib in the environment) and are shared by
+the bench harness and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_stacked_bars", "pct"]
+
+
+def pct(x: float) -> str:
+    return f"{100 * x:.1f}%"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_stacked_bars(series: dict[str, dict[str, float]],
+                        order: Sequence[str], width: int = 50,
+                        title: str | None = None) -> str:
+    """ASCII rendition of the paper's stacked bar charts.
+
+    *series* maps bar label -> {component: value}; bars are scaled so
+    the largest total spans *width* characters.  Each component is drawn
+    with its own fill character, mirroring the chart legends of
+    Figures 2-3.
+    """
+    fills = {
+        "U_SH_MEM": "#", "K_BASE": "K", "K_OVERHD": "!", "U_INSTR": "i",
+        "U_LC_MEM": ".", "SYNC": "s",
+        "HOME": "h", "SCOMA": "S", "RAC": "r", "COLD": "c", "CONF_CAPC": "X",
+    }
+    totals = {label: sum(parts.values()) for label, parts in series.items()}
+    biggest = max(totals.values()) if totals else 1.0
+    label_w = max(len(label) for label in series) if series else 0
+    lines = []
+    if title:
+        lines.append(title)
+    for label, parts in series.items():
+        bar = ""
+        for comp in order:
+            value = parts.get(comp, 0.0)
+            n = int(round(width * value / biggest)) if biggest else 0
+            bar += fills.get(comp, "?") * n
+        lines.append(f"{label.ljust(label_w)} |{bar} ({totals[label]:.2f})")
+    legend = "  ".join(f"{fills.get(c, '?')}={c}" for c in order)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Config and result serialization: reproducible experiment records.
+
+``config_to_dict`` / ``config_from_dict`` round-trip a
+:class:`~repro.sim.config.SystemConfig` (including the nested kernel
+cost model) through plain JSON-compatible dicts, so an experiment's
+exact machine parameters can be stored next to its results.
+``result_to_dict`` flattens a :class:`~repro.sim.stats.RunResult` the
+same way; ``save_results`` / ``load_results`` persist a whole matrix as
+one JSON file under ``results/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from ..kernel.costs import KernelCosts
+from ..sim.config import SystemConfig
+from ..sim.stats import NodeStats, RunResult
+
+__all__ = ["config_to_dict", "config_from_dict", "result_to_dict",
+           "result_from_dict", "save_results", "load_results"]
+
+
+def config_to_dict(config: SystemConfig) -> dict:
+    data = dataclasses.asdict(config)
+    data["kernel"] = dataclasses.asdict(config.kernel)
+    return data
+
+
+def config_from_dict(data: dict) -> SystemConfig:
+    data = dict(data)
+    kernel = data.pop("kernel", None)
+    if kernel is not None:
+        data["kernel"] = KernelCosts(**kernel)
+    return SystemConfig(**data)
+
+
+def result_to_dict(result: RunResult) -> dict:
+    return {
+        "architecture": result.architecture,
+        "workload": result.workload,
+        "pressure": result.pressure,
+        "nodes": [s.as_dict() for s in result.node_stats],
+        # `extra` holds only plain dict/int content by construction.
+        "extra": result.extra,
+    }
+
+
+def result_from_dict(data: dict) -> RunResult:
+    nodes = []
+    for node_data in data["nodes"]:
+        stats = NodeStats()
+        for key, value in node_data.items():
+            setattr(stats, key, value)
+        nodes.append(stats)
+    return RunResult(data["architecture"], data["workload"],
+                     data["pressure"], nodes, data.get("extra"))
+
+
+def save_results(path: str, results: dict[tuple, RunResult],
+                 config: SystemConfig | None = None) -> None:
+    """Persist a results dict keyed by (arch, pressure)-style tuples."""
+    payload = {
+        "config": config_to_dict(config) if config is not None else None,
+        "results": [
+            {"key": list(key), "result": result_to_dict(result)}
+            for key, result in results.items()
+        ],
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+
+def load_results(path: str) -> tuple[SystemConfig | None, dict]:
+    with open(path) as fh:
+        payload = json.load(fh)
+    config = (config_from_dict(payload["config"])
+              if payload.get("config") else None)
+    results = {tuple(entry["key"]): result_from_dict(entry["result"])
+               for entry in payload["results"]}
+    return config, results

@@ -1,0 +1,101 @@
+"""Dependency-free SVG rendering of the paper's stacked-bar charts.
+
+The environment has no plotting library, so this module writes the
+Figure 2/3 charts as standalone SVG by hand: horizontal stacked bars,
+one per (architecture, pressure) label, with the paper's six time
+components (or five miss classes) as coloured segments and a legend.
+``python -m repro`` does not expose it directly; use::
+
+    from repro.harness.svg import figure_svg
+    figure_svg("em3d", "results/figure_em3d.svg")
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+from ..sim.stats import MISS_CLASSES, TIME_BUCKETS
+from .experiment import DEFAULT_SCALE
+from .figures import figure_series
+
+__all__ = ["render_stacked_svg", "figure_svg"]
+
+#: Colour-blind-safe palette (Okabe-Ito), keyed per component.
+PALETTE = {
+    "U_SH_MEM": "#0072B2", "K_BASE": "#999999", "K_OVERHD": "#D55E00",
+    "U_INSTR": "#009E73", "U_LC_MEM": "#F0E442", "SYNC": "#CC79A7",
+    "HOME": "#0072B2", "SCOMA": "#009E73", "RAC": "#F0E442",
+    "COLD": "#999999", "CONF_CAPC": "#D55E00",
+}
+
+BAR_H = 18
+GAP = 6
+LABEL_W = 130
+CHART_W = 520
+LEGEND_H = 28
+PAD = 10
+
+
+def render_stacked_svg(series: dict[str, dict[str, float]],
+                       order: list[str], title: str) -> str:
+    """Render {label: {component: value}} as an SVG stacked-bar chart."""
+    labels = list(series)
+    totals = {label: sum(parts.values()) for label, parts in series.items()}
+    biggest = max(totals.values()) if totals else 1.0
+    height = (PAD + 22 + len(labels) * (BAR_H + GAP) + LEGEND_H + PAD)
+    width = PAD + LABEL_W + CHART_W + 90 + PAD
+
+    parts = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}"'
+             f' height="{height}" font-family="monospace" font-size="11">',
+             f'<text x="{PAD}" y="{PAD + 10}" font-size="13"'
+             f' font-weight="bold">{escape(title)}</text>']
+
+    y = PAD + 22
+    for label in labels:
+        parts.append(f'<text x="{PAD}" y="{y + BAR_H - 5}">'
+                     f'{escape(label)}</text>')
+        x = PAD + LABEL_W
+        for comp in order:
+            value = series[label].get(comp, 0.0)
+            w = CHART_W * value / biggest if biggest else 0
+            if w > 0:
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}"'
+                    f' height="{BAR_H}" fill="{PALETTE.get(comp, "#000")}">'
+                    f'<title>{escape(comp)}: {value:.3g}</title></rect>')
+                x += w
+        parts.append(f'<text x="{x + 4:.1f}" y="{y + BAR_H - 5}">'
+                     f'{totals[label]:.2f}</text>')
+        y += BAR_H + GAP
+
+    lx = PAD + LABEL_W
+    for comp in order:
+        parts.append(f'<rect x="{lx}" y="{y + 4}" width="10" height="10"'
+                     f' fill="{PALETTE.get(comp, "#000")}"/>')
+        parts.append(f'<text x="{lx + 13}" y="{y + 13}">'
+                     f'{escape(comp)}</text>')
+        lx += 13 + 7 * len(comp) + 18
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def figure_svg(app: str, path: str, scale: float = DEFAULT_SCALE,
+               results: dict | None = None, chart: str = "time") -> None:
+    """Write one application's Figure 2/3 chart as an SVG file.
+
+    ``chart`` selects the left ("time") or right ("misses") chart.
+    """
+    series = figure_series(app, scale, results)
+    if chart == "time":
+        data = series["time"]
+        order = list(TIME_BUCKETS)
+        title = f"{app}: execution time relative to CC-NUMA"
+    elif chart == "misses":
+        data = {label: {k: float(v) for k, v in parts.items()}
+                for label, parts in series["misses"].items()}
+        order = list(MISS_CLASSES)
+        title = f"{app}: where shared-data misses were satisfied"
+    else:
+        raise ValueError('chart must be "time" or "misses"')
+    with open(path, "w") as fh:
+        fh.write(render_stacked_svg(data, order, title))

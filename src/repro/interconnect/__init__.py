@@ -1,0 +1,14 @@
+"""Interconnect substrates: topology, network latency/contention, coherent bus."""
+
+from .bus import SplitTransactionBus
+from .network import Network
+from .topology import MeshTopology, RingTopology, SwitchTopology, Topology
+
+__all__ = [
+    "MeshTopology",
+    "Network",
+    "RingTopology",
+    "SplitTransactionBus",
+    "SwitchTopology",
+    "Topology",
+]

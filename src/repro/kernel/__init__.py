@@ -1,0 +1,17 @@
+"""OS/VM substrates: kernel costs, home allocation, free pool, pageout, page table."""
+
+from .allocation import HomeAllocator
+from .costs import KernelCosts
+from .freelist import FreePagePool
+from .pageout import DaemonRunResult, PageoutDaemon
+from .vm import PageMode, PageTable
+
+__all__ = [
+    "DaemonRunResult",
+    "FreePagePool",
+    "HomeAllocator",
+    "KernelCosts",
+    "PageMode",
+    "PageoutDaemon",
+    "PageTable",
+]

@@ -1,0 +1,71 @@
+"""Per-node free page pool.
+
+The kernel "maintains a pool of free local pages that it can use to
+satisfy allocation or relocation requests.  The pageout daemon attempts
+to keep the size of this pool between free_target and free_min pages"
+(paper, Section 3).  ``free_min`` and ``free_target`` are fractions of
+the node's total physical memory (the paper sets them to a few percent
+of total memory; exact digits unreadable -- see DESIGN.md).
+
+The pool tracks only *counts*: which physical frame backs which page is
+immaterial to timing, so frames are fungible.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FreePagePool"]
+
+
+class FreePagePool:
+    """Counter-based free-frame pool with low-water marks."""
+
+    __slots__ = ("capacity", "free", "free_min", "free_target",
+                 "allocations", "releases", "failed_allocations")
+
+    def __init__(self, cache_frames: int, total_frames: int,
+                 free_min_frac: float = 0.005, free_target_frac: float = 0.02) -> None:
+        if cache_frames < 0 or total_frames <= 0:
+            raise ValueError("frame counts must be positive")
+        if not 0 <= free_min_frac <= free_target_frac <= 1:
+            raise ValueError("need 0 <= free_min_frac <= free_target_frac <= 1")
+        self.capacity = cache_frames
+        self.free = cache_frames
+        # Water marks are fractions of *total* node memory, as in BSD,
+        # but can never exceed the page-cache capacity itself.
+        self.free_min = min(cache_frames, max(1, round(total_frames * free_min_frac)))
+        self.free_target = min(cache_frames, max(self.free_min,
+                                                 round(total_frames * free_target_frac)))
+        self.allocations = 0
+        self.releases = 0
+        self.failed_allocations = 0
+
+    def try_allocate(self) -> bool:
+        """Take one frame from the pool.  False if empty."""
+        if self.free > 0:
+            self.free -= 1
+            self.allocations += 1
+            return True
+        self.failed_allocations += 1
+        return False
+
+    def release(self) -> None:
+        """Return one frame to the pool (page eviction)."""
+        if self.free >= self.capacity:
+            raise RuntimeError("free pool overflow: released more frames than exist")
+        self.free += 1
+        self.releases += 1
+
+    @property
+    def below_min(self) -> bool:
+        return self.free < self.free_min
+
+    @property
+    def below_target(self) -> bool:
+        return self.free < self.free_target
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self.free
+
+    def deficit_to_target(self) -> int:
+        return max(0, self.free_target - self.free)

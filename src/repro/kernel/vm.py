@@ -1,0 +1,127 @@
+"""Per-node virtual-memory state: page modes and S-COMA page bookkeeping.
+
+Every node classifies each shared page it has touched into one of three
+mapping modes (paper, Section 2):
+
+* ``HOME``   -- the page's home is this node; accesses go to local DRAM.
+* ``SCOMA``  -- the page is backed by a frame of the local page cache;
+  each 128-byte chunk has a valid bit (set when remote data has been
+  fetched into the frame, cleared by invalidation or page flush).
+* ``CCNUMA`` -- the page maps straight to its remote home; only the L1
+  and the RAC can cache its data.
+
+The page table also maintains the *clock* of S-COMA pages used by the
+pageout daemon's second-chance scan.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+__all__ = ["PageMode", "PageTable"]
+
+
+class PageMode(enum.IntEnum):
+    UNMAPPED = 0
+    HOME = 1
+    SCOMA = 2
+    CCNUMA = 3
+
+
+class PageTable:
+    """One node's shared-page mapping state."""
+
+    def __init__(self, chunks_per_page: int) -> None:
+        if chunks_per_page <= 0 or chunks_per_page > 64:
+            raise ValueError("chunks_per_page must be in 1..64 (bitmask bound)")
+        self.chunks_per_page = chunks_per_page
+        self.full_mask = (1 << chunks_per_page) - 1
+        self.mode: dict[int, int] = {}
+        #: S-COMA valid bits: page -> bitmask over chunks-in-page.
+        self.scoma_valid: dict[int, int] = {}
+        #: Second-chance clock over S-COMA pages (FIFO with re-queue).
+        self.scoma_clock: deque[int] = deque()
+        self.faults = 0
+        self.remaps_to_scoma = 0
+        self.remaps_to_ccnuma = 0
+
+    # -- queries -----------------------------------------------------------
+    def mode_of(self, page: int) -> int:
+        return self.mode.get(page, PageMode.UNMAPPED)
+
+    def scoma_page_count(self) -> int:
+        return len(self.scoma_clock)
+
+    def chunk_valid(self, page: int, chunk_in_page: int) -> bool:
+        return bool(self.scoma_valid.get(page, 0) >> chunk_in_page & 1)
+
+    def valid_chunks(self, page: int) -> int:
+        """Population count of valid chunks in an S-COMA page."""
+        return self.scoma_valid.get(page, 0).bit_count()
+
+    # -- transitions ---------------------------------------------------------
+    def map_home(self, page: int) -> None:
+        self._assert_unmapped(page)
+        self.mode[page] = PageMode.HOME
+
+    def map_ccnuma(self, page: int) -> None:
+        self._assert_unmapped(page)
+        self.mode[page] = PageMode.CCNUMA
+
+    def map_scoma(self, page: int) -> None:
+        """Map *page* into the local page cache with all chunks invalid."""
+        current = self.mode.get(page, PageMode.UNMAPPED)
+        if current == PageMode.SCOMA:
+            raise RuntimeError(f"page {page} already in S-COMA mode")
+        if current == PageMode.HOME:
+            raise RuntimeError(f"page {page} is home-mapped; cannot S-COMA map")
+        if current == PageMode.CCNUMA:
+            self.remaps_to_scoma += 1
+        self.mode[page] = PageMode.SCOMA
+        self.scoma_valid[page] = 0
+        self.scoma_clock.append(page)
+
+    def unmap_scoma(self, page: int, to_ccnuma: bool = True) -> None:
+        """Evict *page* from the page cache.
+
+        ``to_ccnuma=True`` (hybrids) leaves the page mapped to its remote
+        home; ``False`` (pure S-COMA) returns it to UNMAPPED so the next
+        touch takes a fresh page fault.
+        """
+        if self.mode.get(page) != PageMode.SCOMA:
+            raise RuntimeError(f"page {page} is not in S-COMA mode")
+        del self.scoma_valid[page]
+        try:
+            self.scoma_clock.remove(page)
+        except ValueError:
+            pass  # already rotated out by the daemon's scan
+        if to_ccnuma:
+            self.mode[page] = PageMode.CCNUMA
+            self.remaps_to_ccnuma += 1
+        else:
+            del self.mode[page]
+
+    def convert_ccnuma_to_home(self, page: int) -> None:
+        """Page migration landed here: the node becomes the home."""
+        if self.mode.get(page) != PageMode.CCNUMA:
+            raise RuntimeError(f"page {page} is not CC-NUMA mapped")
+        self.mode[page] = PageMode.HOME
+
+    def convert_home_to_ccnuma(self, page: int) -> None:
+        """Page migrated away: the old home keeps a CC-NUMA mapping."""
+        if self.mode.get(page) != PageMode.HOME:
+            raise RuntimeError(f"page {page} is not home-mapped")
+        self.mode[page] = PageMode.CCNUMA
+
+    def set_chunk_valid(self, page: int, chunk_in_page: int) -> None:
+        self.scoma_valid[page] |= 1 << chunk_in_page
+
+    def clear_chunk_valid(self, page: int, chunk_in_page: int) -> None:
+        if page in self.scoma_valid:
+            self.scoma_valid[page] &= ~(1 << chunk_in_page)
+
+    def _assert_unmapped(self, page: int) -> None:
+        if page in self.mode:
+            raise RuntimeError(
+                f"page {page} already mapped as {PageMode(self.mode[page]).name}")

@@ -1,0 +1,18 @@
+"""Memory-hierarchy substrates: address map, L1 cache, RAC, DRAM banks, TLB."""
+
+from .address import AddressMap
+from .cache import CacheStats, DirectMappedCache
+from .dram import BankedMemory
+from .rac import RemoteAccessCache
+from .setassoc import SetAssociativeCache
+from .tlb import TLB
+
+__all__ = [
+    "AddressMap",
+    "BankedMemory",
+    "CacheStats",
+    "DirectMappedCache",
+    "RemoteAccessCache",
+    "SetAssociativeCache",
+    "TLB",
+]

@@ -1,0 +1,116 @@
+"""Address arithmetic for the simulated global shared address space.
+
+The machine exposes a single global *shared* address space divided into
+fixed-size pages.  Within a page, the processor cache operates on 32-byte
+*lines* and the DSM engine transfers 128-byte *chunks* (4 lines), exactly
+as in the paper's simulated machine (Section 4.1).
+
+Throughout the simulator, addresses are carried as integer *line ids*:
+
+    line_id = page_id * lines_per_page + line_in_page
+
+This keeps every hot-path computation a shift/mask on a Python int and
+avoids carrying byte addresses around.  :class:`AddressMap` centralises
+all of the derived geometry so the rest of the code never hard-codes a
+page or line size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AddressMap", "DEFAULT_PAGE_BYTES", "DEFAULT_LINE_BYTES", "DEFAULT_CHUNK_BYTES"]
+
+DEFAULT_PAGE_BYTES = 4096
+DEFAULT_LINE_BYTES = 32
+DEFAULT_CHUNK_BYTES = 128
+
+
+def _log2_exact(value: int, what: str) -> int:
+    """Return log2(value), raising if *value* is not a positive power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Geometry of the shared address space.
+
+    Parameters mirror Table 3 of the paper: 4 KiB pages, 32-byte L1
+    lines, 128-byte DSM transfer chunks.
+    """
+
+    page_bytes: int = DEFAULT_PAGE_BYTES
+    line_bytes: int = DEFAULT_LINE_BYTES
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+
+    def __post_init__(self) -> None:
+        _log2_exact(self.page_bytes, "page_bytes")
+        _log2_exact(self.line_bytes, "line_bytes")
+        _log2_exact(self.chunk_bytes, "chunk_bytes")
+        if self.chunk_bytes % self.line_bytes:
+            raise ValueError("chunk_bytes must be a multiple of line_bytes")
+        if self.page_bytes % self.chunk_bytes:
+            raise ValueError("page_bytes must be a multiple of chunk_bytes")
+
+    # -- derived geometry ------------------------------------------------
+    @property
+    def lines_per_page(self) -> int:
+        return self.page_bytes // self.line_bytes
+
+    @property
+    def lines_per_chunk(self) -> int:
+        return self.chunk_bytes // self.line_bytes
+
+    @property
+    def chunks_per_page(self) -> int:
+        return self.page_bytes // self.chunk_bytes
+
+    @property
+    def line_shift(self) -> int:
+        """log2(lines_per_page): shift converting line id -> page id."""
+        return _log2_exact(self.lines_per_page, "lines_per_page")
+
+    @property
+    def chunk_shift(self) -> int:
+        """log2(lines_per_chunk): shift converting line id -> chunk id."""
+        return _log2_exact(self.lines_per_chunk, "lines_per_chunk")
+
+    # -- conversions -----------------------------------------------------
+    def line_id(self, page: int, line_in_page: int) -> int:
+        """Compose a global line id from (page, line-within-page)."""
+        lpp = self.lines_per_page
+        if not 0 <= line_in_page < lpp:
+            raise ValueError(f"line_in_page {line_in_page} out of range [0, {lpp})")
+        return page * lpp + line_in_page
+
+    def page_of_line(self, line: int) -> int:
+        return line >> self.line_shift
+
+    def chunk_of_line(self, line: int) -> int:
+        """Global chunk id containing *line*."""
+        return line >> self.chunk_shift
+
+    def page_of_chunk(self, chunk: int) -> int:
+        return chunk >> (self.line_shift - self.chunk_shift)
+
+    def first_chunk_of_page(self, page: int) -> int:
+        return page * self.chunks_per_page
+
+    def chunk_in_page(self, line: int) -> int:
+        """Index of the chunk containing *line* within its page (0..chunks_per_page-1)."""
+        return (line >> self.chunk_shift) & (self.chunks_per_page - 1)
+
+    def line_in_page(self, line: int) -> int:
+        return line & (self.lines_per_page - 1)
+
+    def lines_of_chunk(self, chunk: int) -> range:
+        lpc = self.lines_per_chunk
+        start = chunk * lpc
+        return range(start, start + lpc)
+
+    def chunks_of_page(self, page: int) -> range:
+        cpp = self.chunks_per_page
+        start = page * cpp
+        return range(start, start + cpp)

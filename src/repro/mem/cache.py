@@ -1,0 +1,145 @@
+"""Direct-mapped L1 processor cache model.
+
+Matches Table 3 of the paper: 8 KiB direct-mapped, 32-byte lines,
+virtually indexed / physically tagged, write-back, 1-cycle hit.
+
+Because the simulator is trace-driven there is no data payload; the
+cache tracks only presence and dirtiness of *global line ids*.  The
+page-flush operation exists because every CC-NUMA<->S-COMA remap and
+every S-COMA page eviction must flush the page's lines from the
+processor cache (Section 2.3) -- this is what induces the cold misses
+the paper's Ncold term accounts for.
+
+The tag store is a plain Python list indexed by set, which profiling
+showed to be faster than a numpy array for the scalar, branchy access
+pattern of the simulation inner loop (single-element reads dominate).
+"""
+
+from __future__ import annotations
+
+from .address import AddressMap
+
+__all__ = ["DirectMappedCache", "CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss/writeback counters for one cache instance."""
+
+    __slots__ = ("hits", "misses", "writebacks", "flushed_lines", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.flushed_lines = 0
+        self.invalidations = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class DirectMappedCache:
+    """A direct-mapped, write-back cache of global line ids.
+
+    ``lookup``/``fill`` are the only operations on the reference hot
+    path; everything else (flush, invalidate) runs on page-management
+    events which are orders of magnitude rarer.
+    """
+
+    __slots__ = ("n_sets", "set_mask", "tags", "dirty", "stats", "amap")
+
+    def __init__(self, size_bytes: int, line_bytes: int, amap: AddressMap | None = None) -> None:
+        if size_bytes % line_bytes:
+            raise ValueError("cache size must be a multiple of the line size")
+        n_sets = size_bytes // line_bytes
+        if n_sets & (n_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.n_sets = n_sets
+        self.set_mask = n_sets - 1
+        # tags[set] holds the resident global line id, or -1 when empty.
+        self.tags: list[int] = [-1] * n_sets
+        self.dirty: list[bool] = [False] * n_sets
+        self.stats = CacheStats()
+        self.amap = amap or AddressMap()
+
+    # -- hot path ---------------------------------------------------------
+    def lookup(self, line: int) -> bool:
+        """Probe the cache for *line*.  Returns True on hit."""
+        if self.tags[line & self.set_mask] == line:
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, line: int, dirty: bool = False) -> int:
+        """Install *line*, evicting any conflicting resident line.
+
+        Returns the evicted line id (for victim bookkeeping) or -1 if the
+        set was empty or held the same line.
+        """
+        s = line & self.set_mask
+        victim = self.tags[s]
+        if victim == line:
+            if dirty:
+                self.dirty[s] = True
+            return -1
+        if victim != -1 and self.dirty[s]:
+            self.stats.writebacks += 1
+        self.tags[s] = line
+        self.dirty[s] = dirty
+        return victim
+
+    def mark_dirty(self, line: int) -> None:
+        s = line & self.set_mask
+        if self.tags[s] == line:
+            self.dirty[s] = True
+
+    def contains(self, line: int) -> bool:
+        """Presence probe that does not perturb statistics."""
+        return self.tags[line & self.set_mask] == line
+
+    # -- page management paths ---------------------------------------------
+    def invalidate_line(self, line: int) -> bool:
+        """Drop *line* if present (coherence invalidation).  True if it was resident."""
+        s = line & self.set_mask
+        if self.tags[s] == line:
+            self.tags[s] = -1
+            self.dirty[s] = False
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def flush_page(self, page: int) -> int:
+        """Flush every resident line belonging to *page*.
+
+        Models the cache flush the kernel performs before remapping a
+        page.  Returns the number of lines flushed, which the kernel
+        cost model converts to cycles.
+        """
+        amap = self.amap
+        lpp = amap.lines_per_page
+        first = page * lpp
+        flushed = 0
+        tags = self.tags
+        mask = self.set_mask
+        # A page's lines map to `lines_per_page` consecutive sets (mod
+        # n_sets); iterate those rather than scanning the whole cache.
+        span = min(lpp, self.n_sets)
+        for offset in range(span):
+            # Every line of the page whose set == (first+offset)&mask.
+            s = (first + offset) & mask
+            tag = tags[s]
+            if tag != -1 and (tag >> amap.line_shift) == page:
+                tags[s] = -1
+                self.dirty[s] = False
+                flushed += 1
+        self.stats.flushed_lines += flushed
+        return flushed
+
+    def resident_lines_of_page(self, page: int) -> list[int]:
+        amap = self.amap
+        return [t for t in self.tags if t != -1 and (t >> amap.line_shift) == page]
+
+    def clear(self) -> None:
+        self.tags = [-1] * self.n_sets
+        self.dirty = [False] * self.n_sets

@@ -1,0 +1,67 @@
+"""TLB and per-page reference-bit model.
+
+AS-COMA's pageout daemon detects cold pages with a second-chance
+algorithm driven by "the TLB reference bit associated with each S-COMA
+page" (Section 3).  We therefore model, per node:
+
+* a small fully-associative TLB with FIFO replacement (miss cost is
+  charged by the kernel cost model; the TLB exists mainly so that page
+  remaps have a realistic shoot-down/refill cost), and
+* a reference-bit table consulted and reset by the pageout daemon.
+
+The reference bits are the load-bearing piece: the second-chance scan in
+:mod:`repro.kernel.pageout` reads and clears them to decide which S-COMA
+pages are cold enough to evict.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["TLB"]
+
+
+class TLB:
+    """Fully-associative FIFO TLB with per-page reference bits."""
+
+    __slots__ = ("capacity", "entries", "ref_bits", "hits", "misses", "shootdowns")
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError("TLB capacity must be positive")
+        self.capacity = capacity
+        self.entries: OrderedDict[int, None] = OrderedDict()
+        # Reference bits persist beyond TLB residency: the paper's VM
+        # keeps them in the pmap, and the pageout daemon consults them
+        # for *every* S-COMA page, resident in the TLB or not.
+        self.ref_bits: dict[int, bool] = {}
+        self.hits = 0
+        self.misses = 0
+        self.shootdowns = 0
+
+    def access(self, page: int) -> bool:
+        """Touch *page*: set its reference bit, return True on TLB hit."""
+        self.ref_bits[page] = True
+        if page in self.entries:
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self.entries) >= self.capacity:
+            self.entries.popitem(last=False)
+        self.entries[page] = None
+        return False
+
+    def reference_bit(self, page: int) -> bool:
+        return self.ref_bits.get(page, False)
+
+    def clear_reference_bit(self, page: int) -> None:
+        self.ref_bits[page] = False
+
+    def shootdown(self, page: int) -> None:
+        """Remove *page*'s translation (remap/eviction path)."""
+        self.entries.pop(page, None)
+        self.ref_bits.pop(page, None)
+        self.shootdowns += 1
+
+    def resident(self, page: int) -> bool:
+        return page in self.entries

@@ -1,0 +1,32 @@
+"""Simulation layer: configuration, traces, machine model, replay engine."""
+
+from .config import SystemConfig
+from .engine import Engine, simulate
+from .machine import Machine
+from .node import Node
+from .stats import MISS_CLASSES, TIME_BUCKETS, NodeStats, RunResult
+from .timeseries import Sample, TimeSeriesSampler
+from .trace import (EV_BARRIER, EV_COMPUTE, EV_LOCAL, EV_READ, EV_WRITE,
+                    Trace, TraceBuilder, WorkloadTraces)
+
+__all__ = [
+    "EV_BARRIER",
+    "EV_COMPUTE",
+    "EV_LOCAL",
+    "EV_READ",
+    "EV_WRITE",
+    "Engine",
+    "MISS_CLASSES",
+    "Machine",
+    "Node",
+    "NodeStats",
+    "RunResult",
+    "Sample",
+    "SystemConfig",
+    "TIME_BUCKETS",
+    "TimeSeriesSampler",
+    "Trace",
+    "TraceBuilder",
+    "WorkloadTraces",
+    "simulate",
+]

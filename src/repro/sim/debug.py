@@ -1,0 +1,103 @@
+"""Bounded per-event debug tracing.
+
+For diagnosing a simulation (why did this page relocate?  which chunk
+ping-pongs?), attach an :class:`EventTrace` to the page-management side
+effects.  Because the reference hot path must stay fast, the trace
+hooks only the *rare* events -- faults, relocations, evictions,
+migrations, daemon runs -- by monkey-light decoration of one Node's
+methods, not the per-reference path.
+
+Usage::
+
+    engine = Engine(workload, policy, config)
+    trace = EventTrace.attach(engine.machine.nodes[0])
+    engine.run()
+    for ev in trace.events:
+        print(ev)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "EventTrace"]
+
+
+@dataclass(frozen=True)
+class Event:
+    kind: str
+    node: int
+    page: int
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - repr aid
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"[node {self.node}] {self.kind} page {self.page}{tail}"
+
+
+@dataclass
+class EventTrace:
+    """Records a node's page-management events (bounded)."""
+
+    limit: int = 10_000
+    events: list[Event] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, kind: str, node: int, page: int, detail: str = "") -> None:
+        if len(self.events) < self.limit:
+            self.events.append(Event(kind, node, page, detail))
+        else:
+            self.dropped += 1
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def pages(self, kind: str | None = None) -> list[int]:
+        return [e.page for e in self.events
+                if kind is None or e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, node, limit: int = 10_000) -> "EventTrace":
+        """Wrap *node*'s page-management methods with event recording."""
+        trace = cls(limit=limit)
+
+        original_map = node.map_scoma
+        original_evict = node.evict_scoma_page
+        original_relocate = node.relocate_to_scoma
+        original_flush = node.flush_page
+
+        def map_scoma(page):
+            trace.record("map_scoma", node.id, page)
+            return original_map(page)
+
+        def evict_scoma_page(page, forced):
+            trace.record("evict", node.id, page,
+                         "forced" if forced else "daemon")
+            return original_evict(page, forced)
+
+        def relocate_to_scoma(page):
+            trace.record("relocate", node.id, page)
+            return original_relocate(page)
+
+        def flush_page(page):
+            trace.record("flush", node.id, page)
+            return original_flush(page)
+
+        node.map_scoma = map_scoma
+        node.evict_scoma_page = evict_scoma_page
+        node.relocate_to_scoma = relocate_to_scoma
+        node.flush_page = flush_page
+        return trace
+
+    def ping_pong_pages(self, min_cycles: int = 2) -> dict[int, int]:
+        """Pages that were relocated/mapped at least *min_cycles* times --
+        the thrashing fingerprint."""
+        counts: dict[int, int] = {}
+        for event in self.events:
+            if event.kind in ("map_scoma", "relocate"):
+                counts[event.page] = counts.get(event.page, 0) + 1
+        return {page: n for page, n in counts.items() if n >= min_cycles}

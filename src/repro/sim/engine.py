@@ -1,0 +1,454 @@
+"""Trace replay engine.
+
+Replays one :class:`~repro.sim.trace.WorkloadTraces` through a
+:class:`~repro.sim.machine.Machine` under one architecture policy,
+producing a :class:`~repro.sim.stats.RunResult`.
+
+Scheduling
+----------
+Nodes are interleaved by *lazy quantum scheduling*: the engine always
+advances the node with the smallest local clock, processing its events
+until its clock passes the runner-up clock by a small quantum.  This
+keeps cross-node event ordering approximately global (so coherence
+invalidations and directory state interleave realistically) while
+amortising scheduling overhead over many events -- the standard
+conservative-window technique from parallel architectural simulation
+(and the approach of the Paint/Mint family the paper builds on).
+
+Barriers synchronise all nodes: each arriving node stalls, and when the
+last one arrives every waiter's clock jumps to the maximum arrival time
+with the difference charged to SYNC.
+
+Accounting
+----------
+Every event advances its node's clock and exactly one stats bucket:
+compute -> U_INSTR, private stalls -> U_LC_MEM, shared-reference stall
+time -> U_SH_MEM, kernel work -> K_BASE or K_OVERHD, barrier waits ->
+SYNC.  Misses are simultaneously classified into HOME / SCOMA / RAC /
+COLD / CONF_CAPC, matching the right-hand charts of Figures 2-3.
+"""
+
+from __future__ import annotations
+
+from ..core.policy import ArchitecturePolicy, RelocationDecision
+from ..kernel.vm import PageMode
+from .config import SystemConfig
+from .machine import Machine
+from .stats import RunResult
+from .trace import (EV_BARRIER, EV_COMPUTE, EV_LOCAL, EV_READ, EV_WRITE,
+                    WorkloadTraces)
+
+__all__ = ["Engine", "simulate"]
+
+#: How far (cycles) one node may run ahead of the runner-up clock.
+DEFAULT_QUANTUM = 2000
+
+
+class Engine:
+    """One simulation run."""
+
+    def __init__(self, workload: WorkloadTraces, policy: ArchitecturePolicy,
+                 config: SystemConfig | None = None,
+                 quantum: int = DEFAULT_QUANTUM,
+                 log_messages: bool = False,
+                 sampler=None) -> None:
+        self.workload = workload
+        #: Optional TimeSeriesSampler snapshotting policy state at every
+        #: barrier release (see repro.sim.timeseries).
+        self.sampler = sampler
+        self.policy = policy
+        self.config = config or SystemConfig(n_nodes=workload.n_nodes)
+        if self.config.n_nodes != workload.n_nodes:
+            raise ValueError(
+                f"config has {self.config.n_nodes} nodes but workload has"
+                f" {workload.n_nodes}")
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self.machine = Machine(self.config, policy,
+                               workload.home_pages_per_node,
+                               workload.total_shared_pages,
+                               log_messages=log_messages)
+        #: pure S-COMA must map every remote page locally, even if a
+        #: victim has to be force-evicted at fault time.
+        self._mandatory_scoma = policy.mandatory_page_cache
+        #: Direct-mapped L1s take an inlined tag-compare fast path in
+        #: the reference loop; associative ones go through lookup().
+        self._l1_direct = self.config.l1_ways == 1
+        #: Victim-mode RAC: fills from L1 evictions of remote lines,
+        #: never from fetches (see SystemConfig.rac_fill_policy).
+        self._rac_victim = self.config.rac_fill_policy == "victim"
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        machine = self.machine
+        nodes = machine.nodes
+        n = len(nodes)
+        # Python lists index ~3x faster than numpy scalars in this loop.
+        kinds = [t.kinds.tolist() for t in self.workload.traces]
+        args = [t.args.tolist() for t in self.workload.traces]
+        pos = [0] * n
+        end = [len(k) for k in kinds]
+        clock = [0] * n
+        finished = [p >= e for p, e in zip(pos, end)]
+        waiting = [False] * n
+        barrier_id = [-1] * n
+        arrival = [0] * n
+        quantum = self.quantum
+        shared_ref = self._shared_ref
+
+        while True:
+            # Pick the runnable node with the smallest clock.
+            best = -1
+            best_clock = None
+            runner_up = None
+            for i in range(n):
+                if finished[i] or waiting[i]:
+                    continue
+                c = clock[i]
+                if best_clock is None or c < best_clock:
+                    runner_up = best_clock
+                    best_clock = c
+                    best = i
+                elif runner_up is None or c < runner_up:
+                    runner_up = c
+            if best == -1:
+                if all(finished):
+                    break
+                raise RuntimeError("deadlock: all unfinished nodes are waiting"
+                                   " at a barrier that never released")
+            limit = (runner_up + quantum) if runner_up is not None else None
+
+            node = nodes[best]
+            k = kinds[best]
+            a = args[best]
+            p = pos[best]
+            e = end[best]
+            now = clock[best]
+            stats = node.stats
+            # Let the pageout daemon run on its own schedule, not only
+            # when a frame is needed (it is how AS-COMA notices recovery).
+            node.run_daemon_if_due(now)
+
+            while p < e and (limit is None or now < limit):
+                ev = k[p]
+                arg = a[p]
+                p += 1
+                if ev <= EV_WRITE:  # READ or WRITE
+                    now += shared_ref(node, arg, ev == EV_WRITE, now)
+                elif ev == EV_COMPUTE:
+                    stats.U_INSTR += arg
+                    now += arg
+                elif ev == EV_LOCAL:
+                    stats.U_LC_MEM += arg
+                    now += arg
+                else:  # EV_BARRIER
+                    waiting[best] = True
+                    barrier_id[best] = arg
+                    arrival[best] = now
+                    break
+
+            pos[best] = p
+            clock[best] = now
+            if p >= e and not waiting[best]:
+                finished[best] = True
+
+            if waiting[best]:
+                # Release when every unfinished node is at the barrier.
+                if all(finished[i] or waiting[i] for i in range(n)):
+                    ids = {barrier_id[i] for i in range(n) if waiting[i]}
+                    if len(ids) != 1:
+                        raise RuntimeError(
+                            f"barrier mismatch: nodes waiting at {sorted(ids)}")
+                    release = max(arrival[i] for i in range(n) if waiting[i])
+                    for i in range(n):
+                        if waiting[i]:
+                            nodes[i].stats.SYNC += release - arrival[i]
+                            clock[i] = release
+                            waiting[i] = False
+                            if pos[i] >= end[i]:
+                                finished[i] = True
+                    if self.sampler is not None:
+                        self.sampler.sample(release, nodes)
+
+        return RunResult(
+            architecture=self.policy.name,
+            workload=self.workload.name,
+            pressure=self.config.memory_pressure,
+            node_stats=[nd.stats for nd in nodes],
+            extra={
+                "utilisation": machine.utilisation_report(),
+                "page_cache_frames": machine.page_cache_frames(),
+                "protocol": {
+                    "remote_fetches": machine.protocol.remote_fetches,
+                    "three_hop": machine.protocol.three_hop_fetches,
+                    "write_stalls": machine.protocol.write_stalls,
+                },
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _shared_ref(self, node, line: int, is_write: bool, now: int) -> int:
+        """Process one shared-memory reference; returns elapsed cycles.
+
+        Updates the node's stats buckets in place (U_SH_MEM for stall
+        time, K_BASE/K_OVERHD for kernel work triggered by the access).
+        """
+        config = self.config
+        stats = node.stats
+        l1 = node.l1
+        amap = node.amap
+
+        # -- L1 probe (the overwhelmingly common case) -------------------
+        if self._l1_direct:
+            hit = l1.tags[line & l1.set_mask] == line
+        else:
+            hit = l1.lookup(line)
+        if hit:
+            stats.l1_hits += 1
+            if is_write:
+                chunk = line >> amap.chunk_shift
+                if chunk not in node.owned:
+                    page = line >> amap.line_shift
+                    home = self.machine.allocator.home[page]
+                    lat = self.machine.protocol.upgrade(node.id, chunk, page,
+                                                        home, now)
+                    node.owned.add(chunk)
+                    stats.upgrades += 1
+                    stats.U_SH_MEM += lat
+                    l1.mark_dirty(line)
+                    return config.l1_hit_cycles + lat
+                l1.mark_dirty(line)
+            return config.l1_hit_cycles
+
+        # -- L1 miss ------------------------------------------------------
+        stats.l1_misses += 1
+        page = line >> amap.line_shift
+        chunk = line >> amap.chunk_shift
+        node.tlb.ref_bits[page] = True
+
+        mode = node.page_table.mode.get(page, 0)
+        kernel = 0
+        if mode == 0:  # UNMAPPED: first touch on this node
+            mode, kernel = self._page_fault(node, page, now)
+        now += kernel
+
+        bus_delay = self.machine.buses[node.id].transact(now)
+        lat = bus_delay
+        protocol = self.machine.protocol
+
+        if mode == PageMode.HOME:
+            res = protocol.local_fetch(node.id, chunk, page, is_write, now + lat)
+            lat += res.latency
+            stats.HOME += 1
+            stats.HOME_LAT += lat
+            if is_write or res.outcome.exclusive:
+                node.owned.add(chunk)
+        elif mode == PageMode.SCOMA:
+            cip = (line >> amap.chunk_shift) & (amap.chunks_per_page - 1)
+            if node.page_table.scoma_valid[page] >> cip & 1:
+                lat += node.memory.access(chunk, now + lat)
+                stats.SCOMA += 1
+                node.pagecache_hits[page] += 1
+                stats.SCOMA_LAT += lat
+                if is_write and chunk not in node.owned:
+                    home = self.machine.allocator.home[page]
+                    lat += protocol.upgrade(node.id, chunk, page, home, now + lat)
+                    node.owned.add(chunk)
+                    stats.upgrades += 1
+            else:
+                home = self.machine.allocator.home[page]
+                res = protocol.remote_fetch(node.id, chunk, page, home,
+                                            is_write, 0, now + lat,
+                                            count_refetch=False)
+                lat += 2 * config.dsm_processing_cycles + res.latency
+                node.page_table.set_chunk_valid(page, cip)
+                self._classify_remote(node, chunk, res.outcome.refetch, lat)
+                if is_write or res.outcome.exclusive:
+                    node.owned.add(chunk)
+        else:  # PageMode.CCNUMA
+            if node.rac.lookup(line if self._rac_victim else chunk):
+                lat += config.rac_hit_cycles
+                stats.RAC += 1
+                stats.RAC_LAT += lat
+                if is_write and chunk not in node.owned:
+                    home = self.machine.allocator.home[page]
+                    lat += protocol.upgrade(node.id, chunk, page, home, now + lat)
+                    node.owned.add(chunk)
+                    stats.upgrades += 1
+            else:
+                home = self.machine.allocator.home[page]
+                threshold = node.policy_state.effective_threshold()
+                res = protocol.remote_fetch(node.id, chunk, page, home,
+                                            is_write, threshold, now + lat)
+                lat += 2 * config.dsm_processing_cycles + res.latency
+                if not self._rac_victim:
+                    node.rac.fill(chunk)
+                self._classify_remote(node, chunk, res.outcome.refetch, lat)
+                if is_write or res.outcome.exclusive:
+                    node.owned.add(chunk)
+                if res.outcome.relocation_hint:
+                    # Fill the L1 *before* the relocation interrupt: the
+                    # access completed first, and the remap's page flush
+                    # must also purge this line, or a stale copy would
+                    # linger in the cache without copyset membership.
+                    self._l1_fill(node, line, is_write)
+                    kernel += self._handle_relocation_hint(node, page,
+                                                           now + lat)
+                    stats.U_SH_MEM += lat
+                    return kernel + lat
+
+        self._l1_fill(node, line, is_write)
+        stats.U_SH_MEM += lat
+        return kernel + lat
+
+    def _l1_fill(self, node, line: int, is_write: bool) -> None:
+        """Install a line in the L1; in victim-RAC mode, evicted remote
+        lines drop into the RAC (VC-NUMA's actual hardware)."""
+        victim = node.l1.fill(line, dirty=is_write)
+        if self._rac_victim and victim != -1:
+            vpage = victim >> node.amap.line_shift
+            if node.page_table.mode.get(vpage, 0) == PageMode.CCNUMA:
+                node.rac.fill(victim)
+
+    # ------------------------------------------------------------------
+    def _classify_remote(self, node, chunk: int, refetch: bool,
+                         lat: int = 0) -> None:
+        """COLD vs CONF/CAPC classification of a remote fetch."""
+        stats = node.stats
+        if refetch:
+            stats.CONF_CAPC += 1
+            stats.CONF_CAPC_LAT += lat
+        else:
+            stats.COLD += 1
+            stats.COLD_LAT += lat
+            if chunk in node.ever_fetched:
+                stats.induced_cold += 1
+            else:
+                stats.essential_cold += 1
+                node.ever_fetched.add(chunk)
+            return
+        node.ever_fetched.add(chunk)
+
+    def _page_fault(self, node, page: int, now: int) -> tuple[int, int]:
+        """First touch to *page* on *node*: returns (mode, kernel_cycles)."""
+        stats = node.stats
+        costs = node.costs
+        kernel = costs.page_fault
+        stats.K_BASE += kernel
+        stats.page_faults += 1
+        node.page_table.faults += 1
+
+        home = self.machine.allocator.home_of(page, node.id)
+        if home == node.id:
+            node.page_table.map_home(page)
+            return PageMode.HOME, kernel
+
+        mode = self.policy.initial_mode(node.policy_state, node.pool.free)
+        if mode == PageMode.SCOMA:
+            if node.acquire_frame(now + kernel):
+                node.map_scoma(page)
+                return PageMode.SCOMA, kernel
+            if self._mandatory_scoma:
+                # Pure S-COMA: evict someone (hot or not) right now.
+                victim = node.choose_victim()
+                overhead = node.evict_scoma_page(victim, forced=True)
+                stats.K_OVERHD += overhead
+                kernel += overhead
+                if not node.pool.try_allocate():  # pragma: no cover - invariant
+                    raise RuntimeError("frame lost after forced eviction")
+                node.map_scoma(page)
+                return PageMode.SCOMA, kernel
+            # Hybrid with a dry pool: fall back to CC-NUMA mode.
+        node.page_table.map_ccnuma(page)
+        return PageMode.CCNUMA, kernel
+
+    def _handle_relocation_hint(self, node, page: int, now: int) -> int:
+        """Directory flagged *page* hot for *node*: maybe remap it."""
+        stats = node.stats
+        decision = self.policy.on_relocation_hint(node.policy_state,
+                                                  node.pool.free)
+        if decision == RelocationDecision.SKIP:
+            node.policy_state.skipped_relocations += 1
+            stats.skipped_relocations += 1
+            return 0
+
+        if decision == RelocationDecision.MIGRATE:
+            return self._migrate_page(node, page, now)
+
+        if not node.acquire_frame(now):
+            if decision == RelocationDecision.RELOCATE_IF_FREE:
+                # AS-COMA: never evict a hot page for another hot page.
+                node.policy_state.skipped_relocations += 1
+                stats.skipped_relocations += 1
+                return 0
+            # R-NUMA / VC-NUMA: force-evict a victim (possibly hot).
+            victim = node.choose_victim()
+            overhead = node.evict_scoma_page(victim, forced=True)
+            if not node.pool.try_allocate():  # pragma: no cover - invariant
+                raise RuntimeError("frame lost after forced eviction")
+            overhead += node.relocate_to_scoma(page)
+            stats.K_OVERHD += overhead
+            return overhead
+
+        overhead = node.relocate_to_scoma(page)
+        stats.K_OVERHD += overhead
+        return overhead
+
+    def _migrate_page(self, node, page: int, now: int) -> int:
+        """Move *page*'s home to *node* (CCNUMA-MIG extension).
+
+        Only non-shared pages migrate: if any third node (neither the
+        requester nor the current home) caches a chunk of the page, the
+        migration is vetoed -- the gate the paper describes for why
+        migration only works on read-only or non-shared data.
+        """
+        machine = self.machine
+        amap = machine.amap
+        directory = machine.directory
+        old_home = machine.allocator.home[page]
+        stats = node.stats
+
+        allowed = ~((1 << node.id) | (1 << old_home))
+        home_bit = 1 << old_home
+        home_chunks = 0
+        first = amap.first_chunk_of_page(page)
+        for chunk in range(first, first + amap.chunks_per_page):
+            cs = directory.copyset.get(chunk, 0)
+            if cs & allowed:
+                stats.skipped_migrations += 1
+                return 0
+            if cs & home_bit:
+                home_chunks += 1
+        # The old home still actively uses the page (it caches a
+        # non-trivial share of its chunks): moving the home would just
+        # swap whose accesses go remote.  Real migration policies weigh
+        # both sides' usage; a small occupancy bound captures that.
+        if home_chunks > amap.chunks_per_page // 4:
+            stats.skipped_migrations += 1
+            return 0
+
+        # Old home flushes its cached copies and demotes to CC-NUMA mode
+        # (its own next access will go remote).
+        old = machine.nodes[old_home]
+        flushed = old.flush_page(page)
+        if old.page_table.mode_of(page) == PageMode.HOME:
+            old.page_table.convert_home_to_ccnuma(page)
+
+        machine.allocator.migrate(page, node.id)
+        node.page_table.convert_ccnuma_to_home(page)
+        directory.reset_refetch(page, node.id)
+
+        overhead = node.costs.migration_cost(amap.chunks_per_page, flushed)
+        stats.K_OVERHD += overhead
+        stats.migrations += 1
+        return overhead
+
+
+def simulate(workload: WorkloadTraces, policy: ArchitecturePolicy,
+             config: SystemConfig | None = None,
+             quantum: int = DEFAULT_QUANTUM,
+             log_messages: bool = False) -> RunResult:
+    """Convenience wrapper: build an :class:`Engine` and run it."""
+    return Engine(workload, policy, config=config, quantum=quantum,
+                  log_messages=log_messages).run()

@@ -1,0 +1,96 @@
+"""Machine assembly: nodes + directory + network + protocol wiring.
+
+Builds the full simulated multiprocessor for one (architecture,
+workload, pressure) combination and wires the cross-node callbacks:
+chunk invalidation (writes) and owner demotion (reads of dirty data)
+reach into the victim node's L1/RAC/page-cache state.
+"""
+
+from __future__ import annotations
+
+from ..coherence.directory import Directory
+from ..coherence.messages import MessageLog
+from ..coherence.protocol import CoherenceProtocol
+from ..core.policy import ArchitecturePolicy
+from ..interconnect.bus import SplitTransactionBus
+from ..interconnect.network import Network
+from ..interconnect.topology import SwitchTopology
+from ..kernel.allocation import make_allocator
+from .config import SystemConfig
+from .node import Node
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """The assembled multiprocessor."""
+
+    def __init__(self, config: SystemConfig, policy: ArchitecturePolicy,
+                 home_pages_per_node: int, total_shared_pages: int,
+                 log_messages: bool = False) -> None:
+        self.config = config
+        self.policy = policy
+        self.amap = config.address_map()
+
+        self.log = MessageLog() if log_messages else None
+        self.directory = Directory(config.n_nodes, self.amap.chunks_per_page,
+                                   log=self.log,
+                                   grant_exclusive=config.protocol == "mesi")
+        self.network = Network(
+            topology=SwitchTopology(config.n_nodes, config.switch_radix),
+            propagation=config.net_propagation_cycles,
+            fall_through=config.net_fall_through_cycles,
+            port_occupancy=(config.net_port_occupancy_cycles
+                            if config.model_contention else 0),
+        )
+        self.allocator = make_allocator(config.home_placement,
+                                        config.n_nodes,
+                                        total_shared_pages)
+
+        cache_frames = (config.cache_frames(home_pages_per_node)
+                        if policy.uses_page_cache else 0)
+        if policy.mandatory_page_cache:
+            # A pure S-COMA machine cannot run with zero frames: every
+            # remote access must be backed by a local page.
+            cache_frames = max(1, cache_frames)
+        total_frames = config.total_frames(home_pages_per_node)
+        self.nodes = [
+            Node(i, config, self.amap, self.directory, policy,
+                 cache_frames, total_frames)
+            for i in range(config.n_nodes)
+        ]
+        self.buses = [SplitTransactionBus(config.bus_occupancy_cycles
+                                          if config.model_contention else 0)
+                      for _ in range(config.n_nodes)]
+
+        self.protocol = CoherenceProtocol(
+            self.directory, self.network,
+            memories=[n.memory for n in self.nodes],
+            invalidate_chunk=self._invalidate_chunk,
+            demote_chunk=self._demote_chunk,
+            stall_on_invalidate=config.consistency == "sc",
+        )
+
+    # -- cross-node callbacks --------------------------------------------
+    def _invalidate_chunk(self, node_id: int, chunk: int) -> None:
+        self.nodes[node_id].invalidate_chunk(chunk)
+
+    def _demote_chunk(self, node_id: int, chunk: int) -> None:
+        self.nodes[node_id].demote_chunk(chunk)
+
+    # -- introspection ----------------------------------------------------
+    def page_cache_frames(self) -> int:
+        return self.nodes[0].pool.capacity if self.nodes else 0
+
+    def utilisation_report(self) -> dict:
+        return {
+            "network": self.network.utilisation_stats(),
+            "memory": [n.memory.utilisation_stats() for n in self.nodes],
+            "buses": [b.utilisation_stats() for b in self.buses],
+            "directory": {
+                "refetches": self.directory.total_refetches,
+                "relocation_hints": self.directory.relocation_hints,
+                "forwards": self.directory.forwards,
+                "invalidations": self.directory.invalidations_sent,
+            },
+        }

@@ -1,0 +1,212 @@
+"""Per-node model: caches + VM state + page-management operations.
+
+A :class:`Node` owns one processor's L1, RAC, TLB/reference bits, page
+table, free pool, pageout daemon and policy state, plus references to
+the machine-wide directory and cost model.  All page-management
+operations (S-COMA mapping, eviction, relocation) live here so that
+their three side-effect families always happen together:
+
+1. cache state: flush L1 lines / RAC chunks / S-COMA valid bits;
+2. directory state: drop the node from the page's copysets (making
+   future accesses *induced cold misses*) and reset refetch evidence;
+3. accounting: cycle charges to K-BASE/K-OVERHD and event counters.
+"""
+
+from __future__ import annotations
+
+from ..coherence.directory import Directory
+from ..core.policy import ArchitecturePolicy, PolicyNodeState
+from ..kernel.costs import KernelCosts
+from ..kernel.freelist import FreePagePool
+from ..kernel.pageout import PageoutDaemon
+from ..kernel.vm import PageMode, PageTable
+from ..mem.address import AddressMap
+from ..mem.cache import DirectMappedCache
+from ..mem.setassoc import SetAssociativeCache
+from ..mem.dram import BankedMemory
+from ..mem.rac import RemoteAccessCache
+from ..mem.tlb import TLB
+from .config import SystemConfig
+from .stats import NodeStats
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One node of the simulated machine."""
+
+    def __init__(self, node_id: int, config: SystemConfig, amap: AddressMap,
+                 directory: Directory, policy: ArchitecturePolicy,
+                 cache_frames: int, total_frames: int) -> None:
+        self.id = node_id
+        self.config = config
+        self.amap = amap
+        self.directory = directory
+        self.policy = policy
+        self.costs: KernelCosts = config.kernel
+
+        if config.l1_ways == 1:
+            self.l1 = DirectMappedCache(config.l1_size_bytes,
+                                        config.line_bytes, amap)
+        else:
+            self.l1 = SetAssociativeCache(config.l1_size_bytes,
+                                          config.line_bytes,
+                                          config.l1_ways, amap)
+        self.rac = RemoteAccessCache(config.rac_entries)
+        #: Victim-mode RACs hold 32-byte L1 victim *lines*; fetch-mode
+        #: RACs hold whole 128-byte chunks (see SystemConfig).
+        self.rac_victim = config.rac_fill_policy == "victim"
+        self.tlb = TLB(config.tlb_entries)
+        self.memory = BankedMemory(config.dram_banks, config.local_memory_cycles,
+                                   config.dram_occupancy_cycles,
+                                   max_queue_occupancies=(
+                                       8 if config.model_contention else 0))
+        self.page_table = PageTable(amap.chunks_per_page)
+        self.pool = FreePagePool(cache_frames, total_frames,
+                                 config.free_min_frac, config.free_target_frac)
+        self.policy_state: PolicyNodeState = policy.make_node_state()
+        self.stats = NodeStats()
+
+        #: chunks this node holds in Modified state (write permission).
+        self.owned: set[int] = set()
+        #: chunks this node has ever fetched remotely (induced-cold stats).
+        self.ever_fetched: set[int] = set()
+        #: page -> misses satisfied from the page cache since mapping
+        #: (VC-NUMA's break-even input).
+        self.pagecache_hits: dict[int, int] = {}
+
+        self.daemon = PageoutDaemon(
+            self.page_table, self.pool, self.costs,
+            reference_bit=self.tlb.reference_bit,
+            clear_reference_bit=self.tlb.clear_reference_bit,
+            evict=self._daemon_evict,
+            base_interval=config.daemon_base_interval,
+        )
+        self._daemon_evict_count = 0
+
+    # ------------------------------------------------------------------
+    # Chunk-level coherence side effects (machine wires these in).
+    # ------------------------------------------------------------------
+    def invalidate_chunk(self, chunk: int) -> None:
+        """Destroy this node's copy of *chunk* (remote write)."""
+        amap = self.amap
+        for line in amap.lines_of_chunk(chunk):
+            self.l1.invalidate_line(line)
+        if self.rac_victim:
+            for line in amap.lines_of_chunk(chunk):
+                self.rac.invalidate_chunk(line)
+        else:
+            self.rac.invalidate_chunk(chunk)
+        self.owned.discard(chunk)
+        page = amap.page_of_chunk(chunk)
+        if self.page_table.mode_of(page) == PageMode.SCOMA:
+            self.page_table.clear_chunk_valid(page, chunk % amap.chunks_per_page)
+
+    def demote_chunk(self, chunk: int) -> None:
+        """Lose write permission (a remote reader demoted our M copy)."""
+        self.owned.discard(chunk)
+
+    # ------------------------------------------------------------------
+    # Page-management operations.
+    # ------------------------------------------------------------------
+    def flush_page(self, page: int) -> int:
+        """Flush a page from all local caching structures.
+
+        Returns the number of L1 lines flushed (the kernel flush cost is
+        proportional to it).  Also drops the node from the page's chunk
+        copysets, so subsequent accesses become induced cold misses.
+        """
+        flushed = self.l1.flush_page(page)
+        self.rac.flush_page(page, self.amap.lines_per_page if self.rac_victim
+                            else self.amap.chunks_per_page)
+        first = self.amap.first_chunk_of_page(page)
+        for chunk in range(first, first + self.amap.chunks_per_page):
+            self.owned.discard(chunk)
+        self.directory.drop_node_from_page(self.id, page)
+        self.stats.lines_flushed += flushed
+        return flushed
+
+    def map_scoma(self, page: int) -> None:
+        """Install *page* into the page cache (frame already allocated)."""
+        self.page_table.map_scoma(page)
+        self.pagecache_hits[page] = 0
+        if hasattr(self.policy_state, "cached_pages"):
+            self.policy_state.cached_pages = self.page_table.scoma_page_count()
+
+    def evict_scoma_page(self, page: int, forced: bool) -> int:
+        """Evict *page* from the page cache; returns K-OVERHD cycles.
+
+        Hybrids downgrade the page to CC-NUMA mode; pure S-COMA unmaps
+        it entirely.  The frame returns to the free pool.
+        """
+        flushed = self.flush_page(page)
+        self.page_table.unmap_scoma(page, to_ccnuma=self.policy.evict_to_ccnuma)
+        self.tlb.shootdown(page)
+        self.pool.release()
+        self.directory.reset_refetch(page, self.id)
+        hits = self.pagecache_hits.pop(page, 0)
+        self.policy.on_page_evicted(self.policy_state, page, hits)
+        if hasattr(self.policy_state, "cached_pages"):
+            self.policy_state.cached_pages = self.page_table.scoma_page_count()
+        self.stats.evictions += 1
+        if forced:
+            self.stats.forced_evictions += 1
+        return self.costs.eviction_cost(flushed)
+
+    def relocate_to_scoma(self, page: int) -> int:
+        """Upgrade a CC-NUMA page to S-COMA mode (frame already allocated).
+
+        Returns the K-OVERHD cycle charge: relocation interrupt + flush
+        of the page's cached lines + remap.
+        """
+        flushed = self.flush_page(page)
+        self.tlb.shootdown(page)
+        self.map_scoma(page)
+        self.directory.reset_refetch(page, self.id)
+        self.policy_state.relocations += 1
+        self.stats.relocations += 1
+        return self.costs.relocation_cost(flushed)
+
+    def choose_victim(self) -> int:
+        """Second-chance victim selection for a forced eviction.
+
+        Rotates past referenced pages (clearing their bits) up to one
+        full revolution; if everything is referenced -- the all-hot case
+        the paper's thrashing discussion centres on -- the front page is
+        evicted anyway.
+        """
+        clock = self.page_table.scoma_clock
+        if not clock:
+            raise RuntimeError(f"node {self.id}: no S-COMA page to evict")
+        for _ in range(len(clock)):
+            page = clock[0]
+            if self.tlb.reference_bit(page):
+                self.tlb.clear_reference_bit(page)
+                clock.rotate(-1)
+            else:
+                return page
+        return clock[0]
+
+    def _daemon_evict(self, page: int) -> None:
+        """Eviction callback used by the pageout daemon's scan."""
+        cost = self.evict_scoma_page(page, forced=False)
+        # The daemon's per-run dispatch/scan cost is charged by the
+        # caller; the eviction work itself is charged here.
+        self.stats.K_OVERHD += cost
+        self._daemon_evict_count += 1
+
+    # ------------------------------------------------------------------
+    def run_daemon_if_due(self, now: int) -> None:
+        """Invoke the pageout daemon when the pool is low (rate-limited)."""
+        if self.daemon.due(now):
+            result = self.daemon.run(now)
+            self.stats.K_OVERHD += result.cost
+            self.stats.daemon_runs += 1
+            if result.thrashing:
+                self.stats.daemon_thrash += 1
+            self.policy.on_daemon_result(self.policy_state, result, self.daemon)
+
+    def acquire_frame(self, now: int) -> bool:
+        """Try to get a free frame, running the daemon first if it is due."""
+        self.run_daemon_if_due(now)
+        return self.pool.try_allocate()

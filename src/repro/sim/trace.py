@@ -1,0 +1,212 @@
+"""Per-node reference traces.
+
+A trace is the sequence of events one node's processor generates:
+
+* ``READ`` / ``WRITE`` of a global shared line,
+* ``COMPUTE`` -- a burst of user instructions (cycles),
+* ``LOCAL``  -- a burst of private/non-shared memory stall (cycles),
+* ``BARRIER`` -- global synchronisation point.
+
+Traces are stored as three parallel numpy arrays (kind, arg) for
+compactness; the replay engine converts them to Python lists once per
+run because scalar indexing of Python lists is ~3x faster than numpy
+scalar indexing in the interpreter loop (see the hpc guides: profile,
+then optimise the measured hot path).
+
+The module also provides a tiny binary save/load format so generated
+workloads can be cached on disk.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EV_READ", "EV_WRITE", "EV_COMPUTE", "EV_LOCAL", "EV_BARRIER",
+           "Trace", "TraceBuilder", "WorkloadTraces"]
+
+EV_READ = 0
+EV_WRITE = 1
+EV_COMPUTE = 2
+EV_LOCAL = 3
+EV_BARRIER = 4
+
+_EVENT_NAMES = {EV_READ: "READ", EV_WRITE: "WRITE", EV_COMPUTE: "COMPUTE",
+                EV_LOCAL: "LOCAL", EV_BARRIER: "BARRIER"}
+
+_MAGIC = b"ASCT1\n"
+
+
+class Trace:
+    """Immutable event sequence for one node."""
+
+    __slots__ = ("kinds", "args")
+
+    def __init__(self, kinds: np.ndarray, args: np.ndarray) -> None:
+        if kinds.shape != args.shape:
+            raise ValueError("kinds/args length mismatch")
+        self.kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+        self.args = np.ascontiguousarray(args, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def __iter__(self):
+        for k, a in zip(self.kinds, self.args):
+            yield int(k), int(a)
+
+    # -- introspection ----------------------------------------------------
+    def count(self, kind: int) -> int:
+        return int(np.count_nonzero(self.kinds == kind))
+
+    def shared_refs(self) -> int:
+        return self.count(EV_READ) + self.count(EV_WRITE)
+
+    def barriers(self) -> int:
+        return self.count(EV_BARRIER)
+
+    def pages_touched(self, lines_per_page: int) -> set[int]:
+        mask = (self.kinds == EV_READ) | (self.kinds == EV_WRITE)
+        return set((self.args[mask] // lines_per_page).tolist())
+
+    def event_name(self, kind: int) -> str:
+        return _EVENT_NAMES[kind]
+
+
+@dataclass
+class TraceBuilder:
+    """Append-only trace construction."""
+
+    _kinds: list[int] = field(default_factory=list)
+    _args: list[int] = field(default_factory=list)
+
+    def read(self, line: int) -> None:
+        self._kinds.append(EV_READ)
+        self._args.append(line)
+
+    def write(self, line: int) -> None:
+        self._kinds.append(EV_WRITE)
+        self._args.append(line)
+
+    def compute(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError("compute cycles must be non-negative")
+        if cycles:
+            self._kinds.append(EV_COMPUTE)
+            self._args.append(cycles)
+
+    def local(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError("local-memory cycles must be non-negative")
+        if cycles:
+            self._kinds.append(EV_LOCAL)
+            self._args.append(cycles)
+
+    def barrier(self, index: int) -> None:
+        self._kinds.append(EV_BARRIER)
+        self._args.append(index)
+
+    def extend_refs(self, lines: np.ndarray, writes: np.ndarray) -> None:
+        """Bulk-append shared references (vectorised generator path)."""
+        if len(lines) != len(writes):
+            raise ValueError("lines/writes length mismatch")
+        self._kinds.extend(np.where(writes, EV_WRITE, EV_READ).tolist())
+        self._args.extend(np.asarray(lines, dtype=np.int64).tolist())
+
+    def build(self) -> Trace:
+        return Trace(np.array(self._kinds, dtype=np.uint8),
+                     np.array(self._args, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+
+class WorkloadTraces:
+    """A complete workload: one trace per node + metadata.
+
+    ``home_pages_per_node`` sizes each node's pinned memory (and thus,
+    with the memory pressure, its page cache); ``name`` keys the Table 5
+    and Figure 2/3 emitters.
+    """
+
+    def __init__(self, name: str, traces: list[Trace],
+                 home_pages_per_node: int, total_shared_pages: int,
+                 params: dict | None = None) -> None:
+        if not traces:
+            raise ValueError("need at least one node trace")
+        barrier_counts = {t.barriers() for t in traces}
+        if len(barrier_counts) != 1:
+            raise ValueError("all nodes must reach the same number of barriers")
+        self.name = name
+        self.traces = traces
+        self.home_pages_per_node = home_pages_per_node
+        self.total_shared_pages = total_shared_pages
+        self.params = params or {}
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.traces)
+
+    def total_refs(self) -> int:
+        return sum(t.shared_refs() for t in self.traces)
+
+    def max_remote_pages(self, lines_per_page: int,
+                         home_of: dict[int, int] | None = None) -> int:
+        """Upper bound on remote pages any node touches.
+
+        Without a home map this counts pages touched minus the node's
+        proportional home share -- the quantity Table 5 reports.
+        """
+        worst = 0
+        for node, trace in enumerate(self.traces):
+            touched = trace.pages_touched(lines_per_page)
+            if home_of is not None:
+                remote = sum(1 for p in touched if home_of.get(p) != node)
+            else:
+                remote = max(0, len(touched) - self.home_pages_per_node)
+            worst = max(worst, remote)
+        return worst
+
+    def ideal_pressure(self, lines_per_page: int) -> float:
+        """Memory pressure below which a perfect S-COMA never evicts.
+
+        ideal = H / (H + Rmax): with pressure p, cache frames per node
+        are H(1-p)/p, which covers Rmax exactly at p = H/(H+Rmax).
+        """
+        h = self.home_pages_per_node
+        r = self.max_remote_pages(lines_per_page)
+        return h / (h + r) if (h + r) else 1.0
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: str) -> None:
+        with open(path, "wb") as fh:
+            fh.write(_MAGIC)
+            header = {
+                "name": self.name,
+                "home_pages_per_node": self.home_pages_per_node,
+                "total_shared_pages": self.total_shared_pages,
+                "n_nodes": self.n_nodes,
+                "params": self.params,
+            }
+            fh.write((repr(header) + "\n").encode())
+            for trace in self.traces:
+                np.save(fh, trace.kinds)
+                np.save(fh, trace.args)
+
+    @classmethod
+    def load(cls, path: str) -> "WorkloadTraces":
+        import ast
+
+        with open(path, "rb") as fh:
+            if fh.read(len(_MAGIC)) != _MAGIC:
+                raise ValueError(f"{path} is not a workload trace file")
+            header = ast.literal_eval(fh.readline().decode())
+            traces = []
+            for _ in range(header["n_nodes"]):
+                kinds = np.load(fh)
+                args = np.load(fh)
+                traces.append(Trace(kinds, args))
+        return cls(header["name"], traces, header["home_pages_per_node"],
+                   header["total_shared_pages"], header.get("params"))

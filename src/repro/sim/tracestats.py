@@ -1,0 +1,132 @@
+"""Workload trace analysis: working sets, reuse distances, sharing.
+
+The paper's entire evaluation hinges on three properties of each
+application's reference stream: the size of the remote working set
+relative to the page cache (Table 5), how *hot* pages are (Table 6),
+and the page-grained temporal locality that decides whether an S-COMA
+frame amortises its mapping cost.  This module computes those
+properties directly from a :class:`~repro.sim.trace.WorkloadTraces`, so
+a new workload can be characterised before ever running the simulator
+-- the workflow `examples/workload_analysis.py` demonstrates.
+
+All analyses are vectorised numpy passes over the trace arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trace import EV_READ, EV_WRITE, Trace, WorkloadTraces
+
+__all__ = ["page_reference_counts", "page_reuse_distances",
+           "working_set_curve", "sharing_profile", "node_summary",
+           "analyze"]
+
+
+def _ref_pages(trace: Trace, lines_per_page: int) -> np.ndarray:
+    """Page id of every shared reference, in trace order."""
+    mask = (trace.kinds == EV_READ) | (trace.kinds == EV_WRITE)
+    return trace.args[mask] // lines_per_page
+
+
+def page_reference_counts(trace: Trace, lines_per_page: int) -> dict[int, int]:
+    """References per page -- the 'hotness' histogram behind Table 6."""
+    pages = _ref_pages(trace, lines_per_page)
+    uniq, counts = np.unique(pages, return_counts=True)
+    return dict(zip(uniq.tolist(), counts.tolist()))
+
+def page_reuse_distances(trace: Trace, lines_per_page: int) -> np.ndarray:
+    """Stack (LRU) reuse distances at page granularity.
+
+    Distance = number of *distinct* pages touched between consecutive
+    references to the same page; first touches are excluded.  The
+    distribution against the page-cache size predicts S-COMA hit rates:
+    mass below the cache size is capturable locality.
+    """
+    pages = _ref_pages(trace, lines_per_page)
+    distances = []
+    stack: list[int] = []  # LRU order, most recent last
+    seen: set[int] = set()
+    for page in pages.tolist():
+        if page in seen:
+            idx = stack.index(page)
+            distances.append(len(stack) - 1 - idx)
+            stack.pop(idx)
+        else:
+            seen.add(page)
+        stack.append(page)
+    return np.array(distances, dtype=np.int64)
+
+
+def working_set_curve(trace: Trace, lines_per_page: int,
+                      n_windows: int = 20) -> list[tuple[int, int]]:
+    """Distinct pages touched per window of the reference stream.
+
+    A flat curve means a stable working set (em3d); a curve whose
+    windows touch disjoint sets means phases (lu).
+    """
+    pages = _ref_pages(trace, lines_per_page)
+    if len(pages) == 0:
+        return []
+    bounds = np.linspace(0, len(pages), n_windows + 1, dtype=int)
+    return [(int(hi), int(np.unique(pages[lo:hi]).size))
+            for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+
+
+def sharing_profile(workload: WorkloadTraces,
+                    lines_per_page: int) -> dict[int, int]:
+    """Histogram: number of pages touched by exactly k nodes.
+
+    Pages with one toucher are private; pages with two are
+    producer/consumer (migration candidates); higher counts are widely
+    shared (S-COMA's domain).
+    """
+    touchers: dict[int, int] = {}
+    for trace in workload.traces:
+        for page in trace.pages_touched(lines_per_page):
+            touchers[page] = touchers.get(page, 0) + 1
+    histogram: dict[int, int] = {}
+    for count in touchers.values():
+        histogram[count] = histogram.get(count, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def node_summary(workload: WorkloadTraces, node: int,
+                 lines_per_page: int) -> dict:
+    """Per-node characterisation used by the analysis example."""
+    trace = workload.traces[node]
+    h = workload.home_pages_per_node
+    counts = page_reference_counts(trace, lines_per_page)
+    remote = {p: c for p, c in counts.items()
+              if not node * h <= p < (node + 1) * h}
+    distances = page_reuse_distances(trace, lines_per_page)
+    return {
+        "node": node,
+        "shared_refs": trace.shared_refs(),
+        "pages_touched": len(counts),
+        "remote_pages": len(remote),
+        "remote_refs": sum(remote.values()),
+        "hottest_remote_refs": max(remote.values()) if remote else 0,
+        "median_reuse_distance": float(np.median(distances)) if len(distances)
+                                 else 0.0,
+        "p90_reuse_distance": float(np.percentile(distances, 90))
+                              if len(distances) else 0.0,
+    }
+
+
+def analyze(workload: WorkloadTraces, lines_per_page: int = 128) -> dict:
+    """Full workload characterisation."""
+    summaries = [node_summary(workload, node, lines_per_page)
+                 for node in range(workload.n_nodes)]
+    worst = max(summaries, key=lambda s: s["remote_pages"])
+    h = workload.home_pages_per_node
+    return {
+        "name": workload.name,
+        "n_nodes": workload.n_nodes,
+        "home_pages_per_node": h,
+        "max_remote_pages": worst["remote_pages"],
+        "ideal_pressure": h / (h + worst["remote_pages"])
+                          if worst["remote_pages"] else 1.0,
+        "sharing": sharing_profile(workload, lines_per_page),
+        "nodes": summaries,
+    }

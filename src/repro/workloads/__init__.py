@@ -1,0 +1,48 @@
+"""Workload trace generators for the paper's six applications.
+
+Each module provides ``generate(...) -> WorkloadTraces`` plus a
+``default_spec`` describing its working-set geometry.  ``WORKLOADS``
+maps the paper's application names to their generators and records the
+node count each runs on (lu uses 4 nodes, everything else 8 --
+Section 4.2).
+"""
+
+from . import barnes, em3d, fft, lu, migratory, ocean, radix, synthetic
+from .base import SyntheticGenerator, WorkloadSpec
+
+#: name -> (generate function, paper node count)
+WORKLOADS = {
+    "barnes": (barnes.generate, 8),
+    "em3d": (em3d.generate, 8),
+    "fft": (fft.generate, 8),
+    "lu": (lu.generate, 4),
+    "ocean": (ocean.generate, 8),
+    "radix": (radix.generate, 8),
+}
+
+
+def generate_workload(name: str, scale: float = 1.0, **overrides):
+    """Build one of the paper's workloads by name at the paper's node count."""
+    try:
+        fn, n_nodes = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return fn(n_nodes=n_nodes, scale=scale, **overrides)
+
+
+__all__ = [
+    "SyntheticGenerator",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "barnes",
+    "em3d",
+    "fft",
+    "generate_workload",
+    "lu",
+    "migratory",
+    "ocean",
+    "radix",
+    "synthetic",
+]

@@ -1,0 +1,52 @@
+"""barnes: Barnes-Hut N-body (SPLASH-2) stand-in.
+
+Paper characterisation (Sections 4.2, 5.2): barnes is very
+compute-intensive, "exhibits very high spatial locality -- it accesses
+large dense regions of remote memory, and thus can make good use of a
+local S-COMA page cache".  Most remote pages it accesses are part of
+the working set and stay hot for long periods, so its ideal pressure is
+low (~33%) and thrashing begins around 50% pressure.  The paper runs it
+on 8 nodes with ~1.5 MB of home data per node and does not simulate it
+above 70% pressure (too few free pages for meaningful statistics).
+
+The stand-in: a large mostly-hot remote working set, long dense visit
+runs (16 consecutive lines), high compute per reference, modest write
+fraction (tree updates).
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import WorkloadTraces
+from .base import SyntheticGenerator, WorkloadSpec
+
+__all__ = ["generate", "default_spec"]
+
+
+def default_spec(n_nodes: int = 8, scale: float = 1.0, seed: int = 42,
+                 **overrides) -> WorkloadSpec:
+    params = dict(
+        name="barnes",
+        n_nodes=n_nodes,
+        home_pages_per_node=max(8, int(48 * scale)),
+        remote_pages_per_node=max(12, int(96 * scale)),
+        hot_fraction=0.9,
+        sweeps=12,
+        lines_per_visit=16,
+        visit_cluster=1,
+        write_fraction=0.15,
+        scatter_lines=True,
+        compute_per_ref=14.0,
+        local_cycles_per_sweep=4000,
+        home_lines_per_sweep=256,
+        compute_jitter=0.08,
+        seed=seed,
+    )
+    params.update(overrides)
+    return WorkloadSpec(**params)
+
+
+def generate(n_nodes: int = 8, scale: float = 1.0, seed: int = 42,
+             **overrides) -> WorkloadTraces:
+    """Build the barnes stand-in workload (ideal pressure ~= 0.33)."""
+    return SyntheticGenerator(default_spec(n_nodes, scale, seed,
+                                           **overrides)).generate()

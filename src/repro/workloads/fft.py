@@ -1,0 +1,81 @@
+"""fft: SPLASH-2 radix-sqrt(n) FFT stand-in.
+
+Paper characterisation (Section 5.2): "only a tiny fraction of pages in
+fft are accessed enough to be eligible for relocation, so all of the
+hybrid architectures effectively become CC-NUMAs.  Somewhat
+surprisingly, fft has such high spatial locality in its references to
+remote memory that the 128-byte RAC plays a major role in satisfying
+remote accesses locally."  Pure S-COMA must keep every remote page
+mapped, so it thrashes at ~80-90% pressure while everything else stays
+flat.
+
+The stand-in: all-to-all transpose traffic (every node reads a slice of
+every other node's rows), visits of exactly one DSM chunk (4 lines) so
+three of every four line misses hit the RAC, and a hot set of only a
+couple of pages (the twiddle/root-of-unity table) -- below 1% of remote
+pages become relocation-eligible, as in Table 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.trace import WorkloadTraces
+from .base import SyntheticGenerator, WorkloadSpec
+
+__all__ = ["generate", "default_spec", "FFTGenerator"]
+
+
+class FFTGenerator(SyntheticGenerator):
+    """All-to-all remote set; only a tiny hot subset revisited often."""
+
+    def remote_pages_of(self, node: int, rng: np.random.Generator) -> np.ndarray:
+        spec = self.spec
+        h = spec.home_pages_per_node
+        per_peer = max(1, spec.remote_pages_per_node // (spec.n_nodes - 1))
+        pages = []
+        for peer in range(spec.n_nodes):
+            if peer == node:
+                continue
+            pages.append(rng.choice(np.arange(peer * h, (peer + 1) * h),
+                                    size=min(per_peer, h), replace=False))
+        return np.concatenate(pages)[:spec.remote_pages_per_node]
+
+    def sweep_visit_pages(self, node: int, sweep: int, hot: np.ndarray,
+                          cold: np.ndarray,
+                          rng: np.random.Generator) -> np.ndarray:
+        # Transpose phase: every remote page once per sweep (streaming),
+        # plus the tiny hot table revisited many times.
+        streaming = np.concatenate([hot, cold])
+        table = hot[:max(1, len(hot) // 16)]
+        pages = np.concatenate([streaming, np.tile(table, 8)])
+        return rng.permutation(pages)
+
+
+def default_spec(n_nodes: int = 8, scale: float = 1.0, seed: int = 17,
+                 **overrides) -> WorkloadSpec:
+    params = dict(
+        name="fft",
+        n_nodes=n_nodes,
+        home_pages_per_node=max(16, int(96 * scale)),
+        remote_pages_per_node=max(7, int(32 * scale)),
+        hot_fraction=0.25,
+        sweeps=10,
+        lines_per_visit=4,      # exactly one DSM chunk: RAC-friendly
+        visit_cluster=1,
+        write_fraction=0.3,
+        compute_per_ref=4.0,
+        local_cycles_per_sweep=5000,
+        home_lines_per_sweep=512,
+        compute_jitter=0.03,
+        seed=seed,
+    )
+    params.update(overrides)
+    return WorkloadSpec(**params)
+
+
+def generate(n_nodes: int = 8, scale: float = 1.0, seed: int = 17,
+             **overrides) -> WorkloadTraces:
+    """Build the fft stand-in workload (ideal pressure ~= 0.75)."""
+    return FFTGenerator(default_spec(n_nodes, scale, seed,
+                                     **overrides)).generate()

@@ -1,0 +1,76 @@
+"""Producer -> consumer workload for the page-migration study.
+
+Models the classic pattern page migration targets (paper Section 2.2):
+an initialisation phase first-touches data on one node (making it the
+home under first-touch allocation), after which a *different* node uses
+each page exclusively for the rest of the run.  Under plain CC-NUMA
+every consumer access is a remote miss forever; under CC-NUMA-MIG each
+page's home migrates to its consumer after the refetch threshold, and
+under the hybrids the consumer caches it in S-COMA mode -- but only if
+the page cache has room, which is what makes migration interesting at
+high memory pressure.
+
+Each node consumes the pages homed at its successor node, so every page
+has exactly one remote consumer (the non-shared case migration handles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.trace import WorkloadTraces
+from .base import SyntheticGenerator, WorkloadSpec
+
+__all__ = ["generate", "default_spec", "MigratoryGenerator"]
+
+
+class MigratoryGenerator(SyntheticGenerator):
+    """Each node's remote set = all pages of its successor's slab."""
+
+    def remote_pages_of(self, node: int, rng: np.random.Generator) -> np.ndarray:
+        spec = self.spec
+        h = spec.home_pages_per_node
+        producer = (node + 1) % spec.n_nodes
+        pages = np.arange(producer * h, producer * h + min(
+            spec.remote_pages_per_node, h))
+        return pages
+
+    def home_visit_pages(self, node: int, sweep: int,
+                         rng: np.random.Generator) -> np.ndarray:
+        # After initialisation the producer barely touches its own slab
+        # again (it has handed the data off) -- a token visit keeps the
+        # trace structure uniform.
+        spec = self.spec
+        first = node * spec.home_pages_per_node
+        return rng.integers(first, first + spec.home_pages_per_node, size=1)
+
+
+def default_spec(n_nodes: int = 8, scale: float = 1.0, seed: int = 13,
+                 **overrides) -> WorkloadSpec:
+    home = max(8, int(40 * scale))
+    params = dict(
+        name="migratory",
+        n_nodes=n_nodes,
+        home_pages_per_node=home,
+        remote_pages_per_node=home,
+        hot_fraction=1.0,
+        sweeps=16,
+        lines_per_visit=16,
+        visit_cluster=1,
+        write_fraction=0.2,
+        compute_per_ref=4.0,
+        scatter_lines=True,    # RAC-hostile: misses really go remote
+        local_cycles_per_sweep=1000,
+        home_lines_per_sweep=32,
+        compute_jitter=0.04,
+        seed=seed,
+    )
+    params.update(overrides)
+    return WorkloadSpec(**params)
+
+
+def generate(n_nodes: int = 8, scale: float = 1.0, seed: int = 13,
+             **overrides) -> WorkloadTraces:
+    """Build the producer->consumer workload (one consumer per page)."""
+    return MigratoryGenerator(default_spec(n_nodes, scale, seed,
+                                           **overrides)).generate()

@@ -1,0 +1,19 @@
+"""Fully-parameterised synthetic workload (not tied to any paper app).
+
+Exposes every knob of :class:`~repro.workloads.base.WorkloadSpec`
+directly -- used by the ablation/sensitivity benches, the property
+tests, and the ``custom_workload`` example to construct workloads with
+precisely-controlled hot-set sizes and localities.
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import WorkloadTraces
+from .base import SyntheticGenerator, WorkloadSpec
+
+__all__ = ["generate"]
+
+
+def generate(name: str = "synthetic", **spec_kwargs) -> WorkloadTraces:
+    """Build a workload straight from :class:`WorkloadSpec` arguments."""
+    return SyntheticGenerator(WorkloadSpec(name=name, **spec_kwargs)).generate()

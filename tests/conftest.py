@@ -1,0 +1,83 @@
+"""Shared fixtures: small configs, machines and workloads for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_policy
+from repro.mem.address import AddressMap
+from repro.sim.config import SystemConfig
+from repro.sim.trace import TraceBuilder, WorkloadTraces
+from repro.workloads.base import SyntheticGenerator, WorkloadSpec
+
+
+@pytest.fixture
+def amap() -> AddressMap:
+    return AddressMap()
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    """4-node config with contention off for deterministic latencies."""
+    return SystemConfig(n_nodes=4, memory_pressure=0.5,
+                        model_contention=False)
+
+
+@pytest.fixture
+def config8() -> SystemConfig:
+    return SystemConfig(n_nodes=8, memory_pressure=0.5)
+
+
+def make_micro_workload(n_nodes: int = 2, lines: int = 8,
+                        home_pages: int = 2) -> WorkloadTraces:
+    """Tiny hand-built workload: each node touches its own home pages,
+    then node 1 reads node 0's first page."""
+    amap = AddressMap()
+    lpp = amap.lines_per_page
+    traces = []
+    for node in range(n_nodes):
+        b = TraceBuilder()
+        first = node * home_pages
+        for page in range(first, first + home_pages):
+            b.read(page * lpp)
+        b.barrier(0)
+        if node == 1:
+            for line in range(lines):
+                b.read(line)  # page 0, homed at node 0
+        b.compute(10)
+        b.barrier(1)
+        traces.append(b.build())
+    return WorkloadTraces("micro", traces, home_pages_per_node=home_pages,
+                          total_shared_pages=n_nodes * home_pages)
+
+
+@pytest.fixture
+def micro_workload() -> WorkloadTraces:
+    return make_micro_workload()
+
+
+def tiny_spec(**overrides) -> WorkloadSpec:
+    params = dict(
+        name="tiny", n_nodes=4, home_pages_per_node=8,
+        remote_pages_per_node=12, hot_fraction=0.75, sweeps=4,
+        lines_per_visit=8, write_fraction=0.2, compute_per_ref=2.0,
+        local_cycles_per_sweep=100, home_lines_per_sweep=32,
+        line_repeats=1, seed=11,
+    )
+    params.update(overrides)
+    return WorkloadSpec(**params)
+
+
+@pytest.fixture
+def tiny_workload() -> WorkloadTraces:
+    return SyntheticGenerator(tiny_spec()).generate()
+
+
+@pytest.fixture(params=["CCNUMA", "SCOMA", "RNUMA", "VCNUMA", "ASCOMA"])
+def any_policy(request):
+    kwargs = {
+        "RNUMA": dict(threshold=8),
+        "VCNUMA": dict(threshold=8, break_even=4, increment=4),
+        "ASCOMA": dict(threshold=8, increment=4),
+    }.get(request.param, {})
+    return make_policy(request.param, **kwargs)

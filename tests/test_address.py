@@ -1,0 +1,106 @@
+"""Unit tests for repro.mem.address."""
+
+import pytest
+
+from repro.mem.address import AddressMap
+
+
+class TestGeometry:
+    def test_default_geometry_matches_paper(self):
+        amap = AddressMap()
+        assert amap.page_bytes == 4096
+        assert amap.line_bytes == 32
+        assert amap.chunk_bytes == 128
+
+    def test_lines_per_page(self):
+        assert AddressMap().lines_per_page == 128
+
+    def test_lines_per_chunk(self):
+        assert AddressMap().lines_per_chunk == 4
+
+    def test_chunks_per_page(self):
+        assert AddressMap().chunks_per_page == 32
+
+    def test_shifts_consistent(self):
+        amap = AddressMap()
+        assert 1 << amap.line_shift == amap.lines_per_page
+        assert 1 << amap.chunk_shift == amap.lines_per_chunk
+
+    def test_custom_geometry(self):
+        amap = AddressMap(page_bytes=8192, line_bytes=64, chunk_bytes=256)
+        assert amap.lines_per_page == 128
+        assert amap.lines_per_chunk == 4
+
+    @pytest.mark.parametrize("kwargs", [
+        {"page_bytes": 3000},
+        {"line_bytes": 48},
+        {"chunk_bytes": 96},
+        {"page_bytes": 0},
+        {"line_bytes": -32},
+    ])
+    def test_rejects_non_power_of_two(self, kwargs):
+        with pytest.raises(ValueError):
+            AddressMap(**kwargs)
+
+    def test_rejects_chunk_smaller_than_line(self):
+        with pytest.raises(ValueError):
+            AddressMap(line_bytes=256, chunk_bytes=128)
+
+    def test_rejects_chunk_bigger_than_page(self):
+        with pytest.raises(ValueError):
+            AddressMap(page_bytes=128, chunk_bytes=4096)
+
+
+class TestConversions:
+    def test_line_id_roundtrip(self):
+        amap = AddressMap()
+        line = amap.line_id(5, 17)
+        assert amap.page_of_line(line) == 5
+        assert amap.line_in_page(line) == 17
+
+    def test_line_id_rejects_out_of_range(self):
+        amap = AddressMap()
+        with pytest.raises(ValueError):
+            amap.line_id(0, amap.lines_per_page)
+        with pytest.raises(ValueError):
+            amap.line_id(0, -1)
+
+    def test_chunk_of_line(self):
+        amap = AddressMap()
+        assert amap.chunk_of_line(0) == 0
+        assert amap.chunk_of_line(3) == 0
+        assert amap.chunk_of_line(4) == 1
+
+    def test_page_of_chunk(self):
+        amap = AddressMap()
+        assert amap.page_of_chunk(0) == 0
+        assert amap.page_of_chunk(31) == 0
+        assert amap.page_of_chunk(32) == 1
+
+    def test_chunk_in_page(self):
+        amap = AddressMap()
+        line = amap.line_id(3, 127)
+        assert amap.chunk_in_page(line) == 31
+
+    def test_first_chunk_of_page(self):
+        amap = AddressMap()
+        assert amap.first_chunk_of_page(2) == 64
+
+    def test_lines_of_chunk(self):
+        amap = AddressMap()
+        assert list(amap.lines_of_chunk(2)) == [8, 9, 10, 11]
+
+    def test_chunks_of_page(self):
+        amap = AddressMap()
+        chunks = list(amap.chunks_of_page(1))
+        assert chunks[0] == 32 and chunks[-1] == 63 and len(chunks) == 32
+
+    def test_every_line_of_page_maps_back(self):
+        amap = AddressMap()
+        page = 7
+        for lip in range(amap.lines_per_page):
+            line = amap.line_id(page, lip)
+            assert amap.page_of_line(line) == page
+            chunk = amap.chunk_of_line(line)
+            assert amap.page_of_chunk(chunk) == page
+            assert line in amap.lines_of_chunk(chunk)

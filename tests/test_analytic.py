@@ -1,0 +1,88 @@
+"""Unit tests for the Table 1 analytic cost model."""
+
+import pytest
+
+from repro.core.analytic import (MissCounts, RemoteOverheadModel, TABLE1_ROWS,
+                                 TABLE2_ROWS)
+
+
+@pytest.fixture
+def model():
+    return RemoteOverheadModel(t_pagecache=50, t_remote=180)
+
+
+class TestFormulas:
+    def test_ccnuma_only_remote_term(self, model):
+        m = MissCounts(n_pagecache=100, n_remote=10, n_cold=5, t_overhead=999)
+        assert model.ccnuma(m) == 10 * 180
+
+    def test_scoma_has_no_remote_conflict_term(self, model):
+        m = MissCounts(n_pagecache=100, n_remote=10, n_cold=5, t_overhead=40)
+        assert model.scoma(m) == 100 * 50 + 5 * 180 + 40
+
+    def test_hybrid_has_all_terms(self, model):
+        m = MissCounts(n_pagecache=100, n_remote=10, n_cold=5, t_overhead=40)
+        assert model.hybrid(m) == 100 * 50 + 10 * 180 + 5 * 180 + 40
+
+    def test_zero_counts_zero_overhead(self, model):
+        m = MissCounts()
+        assert model.ccnuma(m) == model.scoma(m) == model.hybrid(m) == 0
+
+    @pytest.mark.parametrize("arch,expect", [
+        ("CCNUMA", 1800), ("SCOMA", 5940), ("RNUMA", 7740),
+        ("VCNUMA", 7740), ("ASCOMA", 7740), ("hybrid", 7740),
+    ])
+    def test_evaluate_dispatch(self, model, arch, expect):
+        m = MissCounts(n_pagecache=100, n_remote=10, n_cold=5, t_overhead=40)
+        assert model.evaluate(arch, m) == expect
+
+    def test_evaluate_unknown_arch(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate("sgi-origin", MissCounts())
+
+
+class TestPaperRelations:
+    """The relations (1)-(5) of Section 2.4, expressed over the model."""
+
+    def test_low_pressure_scoma_beats_hybrid(self, model):
+        """Relations (1)-(3): with free pages everywhere, the hybrid pays
+        remote refetches + overhead that S-COMA does not."""
+        scoma = MissCounts(n_pagecache=120, n_cold=20)
+        hybrid = MissCounts(n_pagecache=100, n_remote=15, n_cold=25,
+                            t_overhead=5000)
+        assert model.scoma(scoma) < model.hybrid(hybrid)
+
+    def test_high_pressure_hybrid_can_lose_to_ccnuma(self, model):
+        """Relations (4)-(5): thrashing overhead swamps the savings."""
+        ccnuma = MissCounts(n_remote=100)
+        hybrid = MissCounts(n_pagecache=30, n_remote=80, n_cold=30,
+                            t_overhead=20_000)
+        assert model.hybrid(hybrid) > model.ccnuma(ccnuma)
+
+
+class TestValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            MissCounts(n_remote=-1)
+
+    def test_bad_latencies_rejected(self):
+        with pytest.raises(ValueError):
+            RemoteOverheadModel(t_pagecache=0)
+        with pytest.raises(ValueError):
+            RemoteOverheadModel(t_pagecache=200, t_remote=100)
+
+
+class TestStaticTables:
+    def test_table1_has_three_models(self):
+        assert [r["model"] for r in TABLE1_ROWS] == \
+            ["CC-NUMA", "S-COMA", "Hybrid Architectures"]
+
+    def test_table1_factors(self):
+        assert TABLE1_ROWS[0]["performance_factors"] == ["Network speed"]
+        assert "Software overhead" in TABLE1_ROWS[1]["performance_factors"]
+
+    def test_table2_ccnuma_costs_nothing(self):
+        assert TABLE2_ROWS[0]["storage_cost"] == "None"
+
+    def test_table2_hybrid_mentions_refetch_count(self):
+        assert "Refetch" in TABLE2_ROWS[2]["storage_cost"]

@@ -1,0 +1,86 @@
+"""Tests for the CLI and the claims scorecard machinery."""
+
+import pytest
+
+from repro.harness.claims import Claim, render_scorecard
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_table_command(self):
+        args = build_parser().parse_args(["table", "3"])
+        assert args.command == "table" and args.number == 3
+
+    def test_table_rejects_bad_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "em3d", "ascoma"])
+        assert args.pressure == 0.7
+        assert args.scale == 0.5
+
+    def test_global_scale_flag(self):
+        args = build_parser().parse_args(["--scale", "0.25", "sweep", "fft"])
+        assert args.scale == 0.25
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table_1_static(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Remote Memory Overhead" in out
+
+    def test_table_4_measured(self, capsys):
+        assert main(["table", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "remote:local ratio" in out
+
+    def test_run_command(self, capsys):
+        assert main(["--scale", "0.2", "run", "fft", "ascoma",
+                     "--pressure", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "ASCOMA" in out
+
+    def test_run_unknown_arch_fails_cleanly(self, capsys):
+        assert main(["--scale", "0.2", "run", "fft", "numa-plus"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_unknown_app_fails_cleanly(self, capsys):
+        assert main(["--scale", "0.2", "run", "linpack", "ascoma"]) == 2
+
+    def test_figure_command(self, capsys):
+        assert main(["--scale", "0.2", "figure", "fft"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+
+    def test_analyze_command(self, capsys):
+        assert main(["--scale", "0.2", "analyze", "em3d"]) == 0
+        out = capsys.readouterr().out
+        assert "ideal pressure" in out
+        assert "sharing profile" in out
+
+    def test_sweep_command(self, capsys):
+        assert main(["--scale", "0.2", "sweep", "fft"]) == 0
+        out = capsys.readouterr().out
+        assert "ASCOMA" in out and "SCOMA" in out
+
+
+class TestScorecard:
+    def test_render(self):
+        claims = [
+            Claim("thing holds", "Section 5", "x < 1", "x = 0.5", True),
+            Claim("other thing", "Section 3", "y > 2", "y = 1", False),
+        ]
+        out = render_scorecard(claims)
+        assert "PASS" in out and "FAIL" in out
+        assert "1/2 claims reproduced" in out
+
+    def test_empty_scorecard(self):
+        out = render_scorecard([])
+        assert "0/0" in out

@@ -1,0 +1,53 @@
+"""Unit tests for the crossover-pressure bisection."""
+
+import pytest
+
+from repro.harness.crossover import (crossover_report, find_crossover,
+                                     relative_time_at)
+
+SCALE = 0.25
+
+
+class TestRelativeTime:
+    def test_ccnuma_is_unity(self):
+        assert relative_time_at("fft", "CCNUMA", 0.5, SCALE) == \
+            pytest.approx(1.0, abs=0.01)
+
+    def test_scoma_low_pressure_below_one(self):
+        assert relative_time_at("em3d", "SCOMA", 0.1, SCALE) < 0.9
+
+    def test_scoma_high_pressure_above_one(self):
+        assert relative_time_at("em3d", "SCOMA", 0.9, SCALE) > 1.5
+
+
+class TestFindCrossover:
+    def test_scoma_crossover_between_endpoints(self):
+        crossover = find_crossover("em3d", "SCOMA", scale=SCALE, tol=0.05)
+        assert crossover is not None
+        assert 0.2 < crossover < 0.9
+
+    def test_crossover_brackets_the_sign_change(self):
+        crossover = find_crossover("em3d", "SCOMA", scale=SCALE, tol=0.05)
+        assert relative_time_at("em3d", "SCOMA",
+                                max(0.05, crossover - 0.1), SCALE) < 1.0
+        assert relative_time_at("em3d", "SCOMA",
+                                min(0.95, crossover + 0.1), SCALE) > 1.0
+
+    def test_never_crossing_returns_none(self):
+        # AS-COMA never falls behind CC-NUMA on lu.
+        assert find_crossover("lu", "ASCOMA", scale=SCALE, tol=0.1) is None
+
+    def test_always_behind_returns_lo(self):
+        # R-NUMA on fft hovers at ~1.01: crossed from the start.
+        result = find_crossover("fft", "RNUMA", scale=SCALE, tol=0.1)
+        assert result == pytest.approx(0.05) or result is None
+
+
+class TestReport:
+    def test_report_shape(self):
+        rows = crossover_report(apps=("fft",), archs=("SCOMA",), scale=SCALE)
+        assert len(rows) == 1
+        row = rows[0]
+        assert set(row) == {"app", "arch", "ideal_pressure",
+                            "crossover_pressure"}
+        assert 0 < row["ideal_pressure"] < 1

@@ -1,0 +1,59 @@
+"""Unit tests for the banked DRAM occupancy model."""
+
+import pytest
+
+from repro.mem.dram import BankedMemory
+
+
+class TestService:
+    def test_uncontended_latency_is_service(self):
+        mem = BankedMemory(4, service_cycles=50, occupancy_cycles=20)
+        assert mem.access(0, now=0) == 50
+
+    def test_min_latency(self):
+        assert BankedMemory(4, 50, 20).min_latency() == 50
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BankedMemory(3)
+        with pytest.raises(ValueError):
+            BankedMemory(4, service_cycles=0)
+        with pytest.raises(ValueError):
+            BankedMemory(4, occupancy_cycles=-1)
+
+
+class TestContention:
+    def test_back_to_back_same_bank_queues(self):
+        mem = BankedMemory(4, 50, 20)
+        assert mem.access(0, now=0) == 50
+        # Bank 0 busy until t=20; second access at t=5 queues 15 cycles.
+        assert mem.access(0, now=5) == 65
+
+    def test_different_banks_do_not_queue(self):
+        mem = BankedMemory(4, 50, 20)
+        mem.access(0, now=0)
+        assert mem.access(1, now=0) == 50
+
+    def test_chunk_to_bank_interleaving(self):
+        mem = BankedMemory(4, 50, 20)
+        mem.access(0, now=0)
+        assert mem.access(4, now=0) == 70  # chunk 4 -> bank 0 again: queued
+
+    def test_queue_clears_after_occupancy(self):
+        mem = BankedMemory(4, 50, 20)
+        mem.access(0, now=0)
+        assert mem.access(0, now=25) == 50  # past busy_until
+
+    def test_contention_stats(self):
+        mem = BankedMemory(4, 50, 20)
+        mem.access(0, 0)
+        mem.access(0, 0)
+        stats = mem.utilisation_stats()
+        assert stats["accesses"] == 2
+        assert stats["contended"] == 1
+        assert stats["total_queue_cycles"] == 20
+
+    def test_sustained_stream_backlog_grows(self):
+        mem = BankedMemory(1, 50, 20)
+        latencies = [mem.access(0, now=0) for _ in range(5)]
+        assert latencies == [50, 70, 90, 110, 130]

@@ -1,0 +1,98 @@
+"""Property-based tests over the workload generation framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.address import AddressMap
+from repro.sim.trace import EV_BARRIER, EV_COMPUTE, EV_LOCAL, EV_READ, EV_WRITE
+from repro.workloads.base import SyntheticGenerator, WorkloadSpec
+
+LPP = AddressMap().lines_per_page
+
+spec_params = st.fixed_dictionaries({
+    "n_nodes": st.sampled_from([2, 4, 8]),
+    "home_pages_per_node": st.integers(2, 12),
+    "remote_pages_per_node": st.integers(1, 16),
+    "hot_fraction": st.floats(0.0, 1.0),
+    "sweeps": st.integers(1, 6),
+    "lines_per_visit": st.sampled_from([1, 4, 8, 16]),
+    "visit_cluster": st.integers(1, 4),
+    "write_fraction": st.floats(0.0, 1.0),
+    "line_repeats": st.integers(1, 3),
+    "scatter_lines": st.booleans(),
+    "scatter_window": st.integers(0, 8),
+    "seed": st.integers(0, 2**20),
+})
+
+
+def build(params):
+    params = dict(params)
+    params["name"] = "prop"
+    params["home_lines_per_sweep"] = 16
+    params["local_cycles_per_sweep"] = 10
+    params["compute_per_ref"] = 1.0
+    return SyntheticGenerator(WorkloadSpec(**params)).generate()
+
+
+class TestGeneratedWorkloads:
+    @given(spec_params)
+    @settings(max_examples=40, deadline=None)
+    def test_structural_invariants(self, params):
+        wl = build(params)
+        spec_sweeps = params["sweeps"]
+        n = params["n_nodes"]
+        h = params["home_pages_per_node"]
+        assert wl.n_nodes == n
+        for node, trace in enumerate(wl.traces):
+            # Barrier count: prologue barrier + one per sweep.
+            assert trace.barriers() == spec_sweeps + 1
+            # All referenced pages live in the shared address space.
+            pages = trace.pages_touched(LPP)
+            assert pages and max(pages) < n * h
+            # Every own home page appears (prologue guarantee).
+            own = set(range(node * h, (node + 1) * h))
+            assert own <= pages
+            # Event kinds are from the known alphabet.
+            kinds = set(np.unique(trace.kinds).tolist())
+            assert kinds <= {EV_READ, EV_WRITE, EV_COMPUTE, EV_LOCAL,
+                             EV_BARRIER}
+
+    @given(spec_params)
+    @settings(max_examples=20, deadline=None)
+    def test_determinism(self, params):
+        a, b = build(params), build(params)
+        for ta, tb in zip(a.traces, b.traces):
+            assert np.array_equal(ta.kinds, tb.kinds)
+            assert np.array_equal(ta.args, tb.args)
+
+    @given(spec_params)
+    @settings(max_examples=20, deadline=None)
+    def test_write_fraction_bounds(self, params):
+        wl = build(params)
+        trace = wl.traces[0]
+        reads = trace.count(EV_READ)
+        writes = trace.count(EV_WRITE)
+        total = reads + writes
+        if total > 200:
+            measured = writes / total
+            expected = params["write_fraction"]
+            # Prologue reads bias downward slightly; allow slack.
+            assert measured <= expected + 0.15
+            if expected > 0.2:
+                assert measured >= expected / 3
+
+    @given(spec_params)
+    @settings(max_examples=20, deadline=None)
+    def test_replayable_without_error(self, params):
+        """Any generated workload must replay cleanly end to end."""
+        from repro.core import make_policy
+        from repro.sim.config import SystemConfig
+        from repro.sim.engine import simulate
+        wl = build(params)
+        cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=0.7)
+        result = simulate(wl, make_policy("ascoma", threshold=4, increment=2),
+                          cfg)
+        agg = result.aggregate()
+        assert agg.l1_hits + agg.l1_misses == wl.total_refs()
+        assert agg.total_cycles() > 0

@@ -1,0 +1,211 @@
+"""End-to-end integration tests: the paper's qualitative claims.
+
+Each test asserts a *shape* from the paper's evaluation (Section 5) --
+who wins, where the crossovers are -- on scaled-down workloads.  These
+are the reproduction's acceptance tests: if a refactor breaks one of
+these, it broke the result the paper is about.
+"""
+
+import pytest
+
+from repro.harness.experiment import get_workload, run_app
+
+SCALE = 0.35
+
+
+def rel(app, arch, pressure, baseline):
+    run = run_app(app, arch, pressure, scale=SCALE)
+    return run.aggregate().total_cycles() / baseline
+
+
+@pytest.fixture(scope="module")
+def em3d_baseline():
+    return run_app("em3d", "CCNUMA", 0.5, scale=SCALE).aggregate().total_cycles()
+
+
+@pytest.fixture(scope="module")
+def radix_baseline():
+    return run_app("radix", "CCNUMA", 0.5, scale=SCALE).aggregate().total_cycles()
+
+
+class TestCCNUMAInsensitivity:
+    def test_pressure_does_not_move_ccnuma(self):
+        lo = run_app("em3d", "CCNUMA", 0.1, scale=SCALE)
+        hi = run_app("em3d", "CCNUMA", 0.9, scale=SCALE)
+        a, b = lo.aggregate().total_cycles(), hi.aggregate().total_cycles()
+        assert abs(a - b) / a < 0.01
+
+    def test_ccnuma_never_pays_kernel_overhead(self):
+        run = run_app("em3d", "CCNUMA", 0.9, scale=SCALE)
+        assert run.aggregate().K_OVERHD == 0
+        assert run.aggregate().relocations == 0
+
+
+class TestLowPressure:
+    """Section 5.1: S-COMA-preferred allocation at 10% pressure."""
+
+    def test_ascoma_equals_scoma_at_low_pressure(self, em3d_baseline):
+        ascoma = rel("em3d", "ASCOMA", 0.1, em3d_baseline)
+        scoma = rel("em3d", "SCOMA", 0.1, em3d_baseline)
+        assert ascoma == pytest.approx(scoma, rel=0.02)
+
+    @pytest.mark.parametrize("app", ["barnes", "em3d", "lu", "radix"])
+    def test_ascoma_beats_ccnuma_at_low_pressure(self, app):
+        base = run_app(app, "CCNUMA", 0.5, scale=SCALE).aggregate().total_cycles()
+        assert rel(app, "ASCOMA", 0.1, base) < 0.85
+
+    def test_ascoma_beats_rnuma_on_radix_at_low_pressure(self, radix_baseline):
+        """The paper's headline low-pressure result: up to ~17% on radix
+        from S-COMA-first allocation."""
+        ascoma = rel("radix", "ASCOMA", 0.1, radix_baseline)
+        rnuma = rel("radix", "RNUMA", 0.1, radix_baseline)
+        assert ascoma < rnuma * 0.9
+
+    def test_no_relocations_needed_at_low_pressure(self):
+        run = run_app("em3d", "ASCOMA", 0.1, scale=SCALE)
+        assert run.aggregate().relocations == 0
+
+    def test_hybrids_identical_when_not_thrashing(self, em3d_baseline):
+        """VC-NUMA's detector never fires without evictions, so it must
+        match R-NUMA exactly at low pressure (paper Section 5.2)."""
+        r = rel("em3d", "RNUMA", 0.1, em3d_baseline)
+        v = rel("em3d", "VCNUMA", 0.1, em3d_baseline)
+        assert r == pytest.approx(v, rel=0.01)
+
+
+class TestSCOMACollapse:
+    """Section 5: pure S-COMA's performance drops off a cliff."""
+
+    def test_scoma_collapses_on_em3d(self, em3d_baseline):
+        low = rel("em3d", "SCOMA", 0.1, em3d_baseline)
+        high = rel("em3d", "SCOMA", 0.9, em3d_baseline)
+        assert high > 2.0
+        assert high > 3 * low
+
+    def test_scoma_collapses_early_on_radix(self, radix_baseline):
+        """Radix's tiny ideal pressure: S-COMA is already several times
+        worse than CC-NUMA at 30% (paper: 'as low as 30%')."""
+        assert rel("radix", "SCOMA", 0.3, radix_baseline) > 2.0
+
+    def test_collapse_is_kernel_overhead(self):
+        run = run_app("em3d", "SCOMA", 0.9, scale=SCALE)
+        agg = run.aggregate()
+        assert agg.K_OVERHD / agg.total_cycles() > 0.2
+        assert agg.forced_evictions > 0
+
+    def test_scoma_fine_at_high_pressure_on_fft(self):
+        """fft stays below its ideal pressure until ~80%."""
+        base = run_app("fft", "CCNUMA", 0.5, scale=SCALE).aggregate().total_cycles()
+        assert rel("fft", "SCOMA", 0.7, base) < 1.1
+
+
+class TestHighPressureHybrids:
+    """Section 5.2: thrashing detection separates the hybrids."""
+
+    def test_rnuma_falls_behind_ccnuma_on_em3d(self, em3d_baseline):
+        assert rel("em3d", "RNUMA", 0.9, em3d_baseline) > 1.05
+
+    def test_ascoma_stays_near_ccnuma_at_extreme_pressure(self, em3d_baseline,
+                                                          radix_baseline):
+        """Paper: AS-COMA within a few % of CC-NUMA even at 90%."""
+        assert rel("em3d", "ASCOMA", 0.9, em3d_baseline) < 1.08
+        assert rel("radix", "ASCOMA", 0.9, radix_baseline) < 1.08
+
+    @pytest.mark.parametrize("app", ["em3d", "radix"])
+    def test_ascoma_beats_other_hybrids_at_high_pressure(self, app):
+        base = run_app(app, "CCNUMA", 0.5, scale=SCALE).aggregate().total_cycles()
+        ascoma = rel(app, "ASCOMA", 0.9, base)
+        rnuma = rel(app, "RNUMA", 0.9, base)
+        vcnuma = rel(app, "VCNUMA", 0.9, base)
+        assert ascoma <= vcnuma <= rnuma
+
+    def test_ascoma_never_force_evicts(self):
+        for pressure in (0.1, 0.9):
+            run = run_app("em3d", "ASCOMA", pressure, scale=SCALE)
+            assert run.aggregate().forced_evictions == 0
+
+    def test_ascoma_relocates_less_than_rnuma_when_thrashing(self):
+        ascoma = run_app("radix", "ASCOMA", 0.9, scale=SCALE)
+        rnuma = run_app("radix", "RNUMA", 0.9, scale=SCALE)
+        assert ascoma.aggregate().relocations < rnuma.aggregate().relocations
+
+    def test_ascoma_backoff_engages(self):
+        run = run_app("em3d", "ASCOMA", 0.9, scale=SCALE)
+        assert run.aggregate().daemon_thrash > 0
+
+    def test_rnuma_kernel_overhead_exceeds_ascoma(self):
+        rnuma = run_app("em3d", "RNUMA", 0.9, scale=SCALE)
+        ascoma = run_app("em3d", "ASCOMA", 0.9, scale=SCALE)
+        assert rnuma.kernel_overhead_fraction() > \
+            ascoma.kernel_overhead_fraction()
+
+
+class TestSecondGroupApps:
+    """fft / ocean / lu: 'minimal efforts to avoid thrashing suffice'."""
+
+    def test_fft_hybrids_track_ccnuma(self):
+        base = run_app("fft", "CCNUMA", 0.5, scale=SCALE).aggregate().total_cycles()
+        for arch in ("RNUMA", "VCNUMA", "ASCOMA"):
+            assert 0.8 < rel("fft", arch, 0.9, base) < 1.1
+
+    def test_ocean_all_architectures_close(self):
+        base = run_app("ocean", "CCNUMA", 0.5, scale=SCALE).aggregate().total_cycles()
+        for arch in ("RNUMA", "VCNUMA", "ASCOMA"):
+            assert 0.85 < rel("ocean", arch, 0.7, base) < 1.1
+
+    def test_lu_hybrids_beat_ccnuma_at_all_pressures(self):
+        base = run_app("lu", "CCNUMA", 0.5, scale=SCALE).aggregate().total_cycles()
+        for pressure in (0.1, 0.7):
+            assert rel("lu", "ASCOMA", pressure, base) < 0.9
+            # R-NUMA's relocation lag eats part of the win at this small
+            # scale; it must still roughly break even with CC-NUMA.
+            assert rel("lu", "RNUMA", pressure, base) < 1.05
+
+    def test_fft_rac_absorbs_remote_traffic(self):
+        run = run_app("fft", "CCNUMA", 0.5, scale=SCALE)
+        agg = run.aggregate()
+        assert agg.RAC > agg.CONF_CAPC  # paper: the RAC plays a major role
+
+
+class TestMissClassInvariants:
+    def test_ccnuma_has_no_pagecache_hits(self):
+        run = run_app("em3d", "CCNUMA", 0.5, scale=SCALE)
+        assert run.aggregate().SCOMA == 0
+
+    def test_scoma_has_no_rac_hits_or_remote_conflicts(self):
+        run = run_app("em3d", "SCOMA", 0.1, scale=SCALE)
+        agg = run.aggregate()
+        assert agg.RAC == 0
+        assert agg.CONF_CAPC == 0  # every conflict is absorbed locally
+
+    def test_miss_totals_consistent_across_archs(self):
+        """Shared references don't change with architecture, so total
+        classified misses stay within a few % of one another (they vary
+        only through remap-induced cold misses and L1 hit differences)."""
+        runs = [run_app("fft", arch, 0.5, scale=SCALE)
+                for arch in ("CCNUMA", "ASCOMA")]
+        a, b = (r.aggregate().shared_misses() for r in runs)
+        assert abs(a - b) / a < 0.1
+
+    def test_induced_cold_only_with_remapping(self):
+        ccnuma = run_app("em3d", "CCNUMA", 0.5, scale=SCALE)
+        # Writes cause coherence invalidations that also surface as
+        # non-essential cold misses, so compare against a remapping arch.
+        rnuma = run_app("em3d", "RNUMA", 0.9, scale=SCALE)
+        assert rnuma.aggregate().induced_cold > ccnuma.aggregate().induced_cold
+
+
+class TestSyncAndBreakdown:
+    def test_barrier_sync_present(self):
+        run = run_app("em3d", "CCNUMA", 0.5, scale=SCALE)
+        assert run.aggregate().SYNC > 0
+
+    def test_time_buckets_sum_to_total(self):
+        run = run_app("em3d", "ASCOMA", 0.7, scale=SCALE)
+        agg = run.aggregate()
+        assert agg.total_cycles() == sum(agg.time_breakdown().values())
+
+    def test_execution_time_bounded_by_aggregate(self):
+        run = run_app("em3d", "ASCOMA", 0.7, scale=SCALE)
+        assert run.execution_time() <= run.aggregate().total_cycles()
+        assert run.execution_time() >= run.aggregate().total_cycles() / run.n_nodes

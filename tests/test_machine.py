@@ -1,0 +1,63 @@
+"""Unit tests for machine assembly and cross-node wiring."""
+
+from repro.core import CCNUMAPolicy, ASCOMAPolicy, SCOMAPolicy
+from repro.sim.config import SystemConfig
+from repro.sim.machine import Machine
+
+
+def make_machine(policy=None, pressure=0.5, n_nodes=4):
+    cfg = SystemConfig(n_nodes=n_nodes, memory_pressure=pressure,
+                       model_contention=False)
+    return Machine(cfg, policy or ASCOMAPolicy(), home_pages_per_node=10,
+                   total_shared_pages=10 * n_nodes)
+
+
+class TestAssembly:
+    def test_node_count(self):
+        assert len(make_machine().nodes) == 4
+
+    def test_page_cache_sized_by_pressure(self):
+        m = make_machine(pressure=0.5)
+        assert m.page_cache_frames() == 10
+        m = make_machine(pressure=0.1)
+        assert m.page_cache_frames() == 90
+
+    def test_ccnuma_has_no_page_cache(self):
+        m = make_machine(policy=CCNUMAPolicy())
+        assert m.page_cache_frames() == 0
+
+    def test_allocator_quota_balanced(self):
+        m = make_machine()
+        assert m.allocator.quota == 10
+
+    def test_message_log_optional(self):
+        cfg = SystemConfig(n_nodes=2)
+        m = Machine(cfg, SCOMAPolicy(), 4, 8, log_messages=True)
+        assert m.log is not None
+        m2 = Machine(cfg, SCOMAPolicy(), 4, 8)
+        assert m2.log is None
+
+
+class TestCrossNodeWiring:
+    def test_protocol_invalidation_reaches_victim_node(self):
+        m = make_machine()
+        amap = m.amap
+        chunk = 0
+        line = 0
+        m.nodes[1].l1.fill(line)
+        m.protocol.remote_fetch(1, chunk, 0, 0, False, 0, 0)   # node 1 shares
+        m.protocol.remote_fetch(2, chunk, 0, 0, True, 0, 0)    # node 2 writes
+        assert not m.nodes[1].l1.contains(line)
+
+    def test_demotion_reaches_owner(self):
+        m = make_machine()
+        m.protocol.remote_fetch(1, 0, 0, 0, True, 0, 0)
+        m.nodes[1].owned.add(0)
+        m.protocol.remote_fetch(2, 0, 0, 0, False, 0, 100)
+        assert 0 not in m.nodes[1].owned
+
+    def test_utilisation_report_shape(self):
+        m = make_machine()
+        report = m.utilisation_report()
+        assert set(report) == {"network", "memory", "buses", "directory"}
+        assert len(report["memory"]) == 4

@@ -1,0 +1,54 @@
+"""Unit tests for coherence message records and the bounded log."""
+
+import pytest
+
+from repro.coherence.messages import Message, MessageLog, MsgKind
+
+
+class TestMessage:
+    def test_construction(self):
+        m = Message(MsgKind.GET, src=1, dst=2, chunk=5)
+        assert m.kind is MsgKind.GET
+        assert not m.relocation_hint
+
+    def test_rejects_negative_nodes(self):
+        with pytest.raises(ValueError):
+            Message(MsgKind.GET, src=-1, dst=0, chunk=0)
+        with pytest.raises(ValueError):
+            Message(MsgKind.GET, src=0, dst=-2, chunk=0)
+
+    def test_rejects_negative_chunk(self):
+        with pytest.raises(ValueError):
+            Message(MsgKind.GET, src=0, dst=0, chunk=-1)
+
+    def test_frozen(self):
+        m = Message(MsgKind.ACK, 0, 1, 2)
+        with pytest.raises(AttributeError):
+            m.chunk = 3
+
+    def test_all_kinds_distinct(self):
+        values = [k.value for k in MsgKind]
+        assert len(values) == len(set(values)) == 8
+
+
+class TestMessageLog:
+    def test_record_and_filter(self):
+        log = MessageLog()
+        log.record(Message(MsgKind.GET, 0, 1, 2))
+        log.record(Message(MsgKind.DATA, 1, 0, 2))
+        assert len(log) == 2
+        assert len(log.of_kind(MsgKind.GET)) == 1
+
+    def test_bounded(self):
+        log = MessageLog(limit=2)
+        for i in range(5):
+            log.record(Message(MsgKind.ACK, 0, 1, i))
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_clear(self):
+        log = MessageLog(limit=1)
+        log.record(Message(MsgKind.ACK, 0, 1, 0))
+        log.record(Message(MsgKind.ACK, 0, 1, 1))
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0

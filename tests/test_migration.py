@@ -1,0 +1,169 @@
+"""Tests for the dynamic page-migration extension (CCNUMA-MIG)."""
+
+import pytest
+
+from repro.core import MigratingCCNUMAPolicy, make_policy
+from repro.core.policy import RelocationDecision
+from repro.kernel.allocation import HomeAllocator
+from repro.kernel.vm import PageMode
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine, simulate
+from repro.sim.trace import TraceBuilder, WorkloadTraces
+from repro.workloads import migratory
+
+LPP = 128
+
+
+def cfg(pressure=0.5):
+    return SystemConfig(n_nodes=2, memory_pressure=pressure,
+                        model_contention=False)
+
+
+def consumer_workload(consumer_refetches=40, shared_reader=False, n_nodes=2):
+    """Node 0 produces pages 0 and 2; node 1 consumes them heavily with
+    L1- and RAC-conflicting lines (0 and 256 share L1 set 0 and the
+    single RAC slot), generating refetches.  Optionally a third node
+    reads page 0 once, making it *shared* and vetoing migration."""
+    home_pages = 3  # node 0 homes pages 0..2: 0 and 2 conflict in L1
+    builders = [TraceBuilder() for _ in range(n_nodes)]
+    for node, b in enumerate(builders):
+        for page in range(node * home_pages, (node + 1) * home_pages):
+            b.read(page * LPP)
+        b.barrier(0)
+    for _ in range(consumer_refetches):
+        builders[1].read(0)          # page 0, chunk 0, L1 set 0
+        builders[1].read(2 * LPP)    # page 2, chunk 64, L1 set 0 too
+    if shared_reader and n_nodes > 2:
+        builders[2].read(0)
+    for b in builders:
+        b.barrier(1)
+    return WorkloadTraces("mig-micro", [b.build() for b in builders],
+                          home_pages_per_node=home_pages,
+                          total_shared_pages=n_nodes * home_pages)
+
+
+class TestPolicy:
+    def test_registry_name(self):
+        assert make_policy("ccnuma-mig") is not None
+        assert make_policy("CCNUMAMIG").name == "CCNUMA-MIG"
+
+    def test_migrate_decision(self):
+        policy = MigratingCCNUMAPolicy(threshold=8)
+        state = policy.make_node_state()
+        assert policy.on_relocation_hint(state, 0) == \
+            RelocationDecision.MIGRATE
+
+    def test_initial_mode_is_ccnuma(self):
+        policy = MigratingCCNUMAPolicy()
+        assert policy.initial_mode(policy.make_node_state(), 5) == \
+            PageMode.CCNUMA
+
+    def test_no_page_cache(self):
+        assert not MigratingCCNUMAPolicy().uses_page_cache
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            MigratingCCNUMAPolicy(threshold=0)
+
+
+class TestAllocatorMigrate:
+    def test_migrate_moves_home_and_counts(self):
+        alloc = HomeAllocator(2, 4)
+        alloc.home_of(0, 0)
+        old = alloc.migrate(0, 1)
+        assert old == 0
+        assert alloc.home[0] == 1
+        assert alloc.pages_homed_at(0) == 0
+        assert alloc.pages_homed_at(1) == 1
+
+    def test_migrate_to_same_home_is_noop(self):
+        alloc = HomeAllocator(2, 4)
+        alloc.home_of(0, 0)
+        alloc.migrate(0, 0)
+        assert alloc.pages_homed_at(0) == 1
+
+    def test_migrate_unassigned_page_raises(self):
+        with pytest.raises(KeyError):
+            HomeAllocator(2, 4).migrate(0, 1)
+
+    def test_migrate_bad_node_raises(self):
+        alloc = HomeAllocator(2, 4)
+        alloc.home_of(0, 0)
+        with pytest.raises(ValueError):
+            alloc.migrate(0, 5)
+
+
+class TestEngineMigration:
+    def test_hot_page_migrates_to_consumer(self):
+        wl = consumer_workload()
+        engine = Engine(wl, MigratingCCNUMAPolicy(threshold=8), cfg())
+        result = engine.run()
+        consumer = engine.machine.nodes[1]
+        assert result.node_stats[1].migrations >= 1
+        assert engine.machine.allocator.home[0] == 1
+        assert consumer.page_table.mode_of(0) == PageMode.HOME
+        # Old home demoted to CC-NUMA mapping.
+        assert engine.machine.nodes[0].page_table.mode_of(0) == PageMode.CCNUMA
+
+    def test_post_migration_accesses_are_local(self):
+        wl = consumer_workload(consumer_refetches=60)
+        engine = Engine(wl, MigratingCCNUMAPolicy(threshold=8), cfg())
+        result = engine.run()
+        # After migration the consumer's misses are HOME class.
+        assert result.node_stats[1].HOME > 0
+
+    def test_shared_page_is_not_migrated(self):
+        wl = consumer_workload(shared_reader=True, n_nodes=3)
+        config = SystemConfig(n_nodes=3, memory_pressure=0.5,
+                              model_contention=False)
+        engine = Engine(wl, MigratingCCNUMAPolicy(threshold=8), config)
+        result = engine.run()
+        assert engine.machine.allocator.home[0] == 0  # stayed put
+        assert result.node_stats[1].skipped_migrations >= 1
+        # The non-shared companion page (page 2) is still free to move.
+        assert engine.machine.allocator.home[2] == 1
+
+    def test_migration_charged_k_overhead(self):
+        wl = consumer_workload()
+        result = simulate(wl, MigratingCCNUMAPolicy(threshold=8), cfg())
+        assert result.node_stats[1].K_OVERHD > 0
+
+
+class TestMigratoryWorkload:
+    def test_every_page_has_single_consumer(self):
+        wl = migratory.generate(scale=0.25)
+        h = wl.home_pages_per_node
+        consumers: dict[int, set[int]] = {}
+        for node, trace in enumerate(wl.traces):
+            for page in trace.pages_touched(128):
+                if not node * h <= page < (node + 1) * h:
+                    consumers.setdefault(page, set()).add(node)
+        assert all(len(c) == 1 for c in consumers.values())
+
+    def test_migration_beats_ccnuma_at_high_pressure(self):
+        wl = migratory.generate(scale=0.25, sweeps=10)
+        config = SystemConfig(n_nodes=8, memory_pressure=0.9)
+        base = simulate(wl, make_policy("ccnuma"), config).aggregate()
+        mig = simulate(wl, make_policy("ccnuma-mig", threshold=8),
+                       config).aggregate()
+        assert mig.total_cycles() < 0.9 * base.total_cycles()
+        assert mig.migrations > 0
+
+    def test_migration_is_pressure_insensitive(self):
+        wl = migratory.generate(scale=0.25, sweeps=10)
+        totals = []
+        for pressure in (0.1, 0.9):
+            config = SystemConfig(n_nodes=8, memory_pressure=pressure)
+            agg = simulate(wl, make_policy("ccnuma-mig", threshold=8),
+                           config).aggregate()
+            totals.append(agg.total_cycles())
+        assert totals[0] == pytest.approx(totals[1], rel=0.02)
+
+    def test_migration_useless_on_shared_workload(self):
+        """em3d-style sharing vetoes migration almost everywhere."""
+        from repro.workloads import em3d
+        wl = em3d.generate(scale=0.25)
+        config = SystemConfig(n_nodes=8, memory_pressure=0.5)
+        mig = simulate(wl, make_policy("ccnuma-mig", threshold=8),
+                       config).aggregate()
+        assert mig.skipped_migrations > mig.migrations

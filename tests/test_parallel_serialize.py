@@ -1,0 +1,90 @@
+"""Tests for parallel matrix execution and config/result serialization."""
+
+import math
+
+import pytest
+
+from repro.harness.experiment import run_app
+from repro.harness.parallel import run_cell, run_cells, run_matrix_parallel
+from repro.harness.serialize import (config_from_dict, config_to_dict,
+                                     load_results, result_from_dict,
+                                     result_to_dict, save_results)
+from repro.kernel.costs import KernelCosts
+from repro.sim.config import SystemConfig
+
+SCALE = 0.2
+
+
+class TestSerializeConfig:
+    def test_roundtrip_default(self):
+        cfg = SystemConfig()
+        again = config_from_dict(config_to_dict(cfg))
+        assert again == cfg
+
+    def test_roundtrip_custom(self):
+        cfg = SystemConfig(n_nodes=4, memory_pressure=0.9, l1_ways=2,
+                           kernel=KernelCosts(page_remap=1234))
+        again = config_from_dict(config_to_dict(cfg))
+        assert again == cfg
+        assert again.kernel.page_remap == 1234
+
+    def test_dict_is_json_compatible(self):
+        import json
+        json.dumps(config_to_dict(SystemConfig()))
+
+
+class TestSerializeResults:
+    def test_result_roundtrip(self):
+        result = run_app("fft", "ASCOMA", 0.5, scale=SCALE)
+        again = result_from_dict(result_to_dict(result))
+        assert again.architecture == result.architecture
+        assert again.aggregate().as_dict() == result.aggregate().as_dict()
+        assert again.execution_time() == result.execution_time()
+
+    def test_save_load_file(self, tmp_path):
+        results = {("ASCOMA", 0.5): run_app("fft", "ASCOMA", 0.5, SCALE)}
+        path = tmp_path / "run.json"
+        save_results(str(path), results, config=SystemConfig(n_nodes=8))
+        config, loaded = load_results(str(path))
+        assert config.n_nodes == 8
+        assert ("ASCOMA", 0.5) in loaded
+        assert loaded[("ASCOMA", 0.5)].aggregate().total_cycles() == \
+            results[("ASCOMA", 0.5)].aggregate().total_cycles()
+
+    def test_save_without_config(self, tmp_path):
+        path = tmp_path / "run.json"
+        save_results(str(path), {})
+        config, loaded = load_results(str(path))
+        assert config is None and loaded == {}
+
+
+class TestParallel:
+    def test_run_cell_matches_run_app(self):
+        a = run_cell(("fft", "CCNUMA", 0.5, SCALE))
+        b = run_app("fft", "CCNUMA", 0.5, scale=SCALE)
+        assert a.aggregate().as_dict() == b.aggregate().as_dict()
+
+    def test_inline_path(self):
+        cells = [("fft", "CCNUMA", 0.5, SCALE), ("fft", "ASCOMA", 0.5, SCALE)]
+        results = run_cells(cells, parallel=False)
+        assert set(results) == set(cells)
+
+    def test_parallel_matches_inline(self):
+        cells = [("fft", "CCNUMA", 0.5, SCALE), ("fft", "ASCOMA", 0.5, SCALE),
+                 ("fft", "SCOMA", 0.9, SCALE)]
+        inline = run_cells(cells, parallel=False)
+        fanned = run_cells(cells, parallel=True, max_workers=2)
+        for cell in cells:
+            assert (inline[cell].aggregate().as_dict()
+                    == fanned[cell].aggregate().as_dict())
+
+    def test_matrix_parallel_shape(self):
+        out = run_matrix_parallel(apps=("fft",), scale=SCALE, max_workers=2)
+        assert ("CCNUMA", None) in out["fft"]
+        assert any(key[0] == "ASCOMA" for key in out["fft"])
+
+    def test_matrix_results_are_finite(self):
+        out = run_matrix_parallel(apps=("fft",), scale=SCALE, max_workers=2)
+        for result in out["fft"].values():
+            total = result.aggregate().total_cycles()
+            assert total > 0 and math.isfinite(total)

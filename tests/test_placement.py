@@ -1,0 +1,102 @@
+"""Tests for the alternative home-placement policies."""
+
+import pytest
+
+from repro.kernel.allocation import (HomeAllocator, RandomAllocator,
+                                     RoundRobinAllocator, make_allocator)
+from repro.sim.config import SystemConfig
+from repro.sim.engine import simulate
+from repro.harness.experiment import scaled_policy
+from repro.workloads import synthetic
+
+
+class TestRoundRobin:
+    def test_strict_rotation(self):
+        alloc = RoundRobinAllocator(4, 16)
+        homes = [alloc.home_of(page, toucher=0) for page in range(8)]
+        assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_ignores_toucher(self):
+        alloc = RoundRobinAllocator(4, 16)
+        assert alloc.home_of(0, toucher=3) == 0
+
+    def test_sticky(self):
+        alloc = RoundRobinAllocator(4, 16)
+        first = alloc.home_of(5, 0)
+        assert alloc.home_of(5, 2) == first
+
+    def test_perfectly_balanced(self):
+        alloc = RoundRobinAllocator(4, 16)
+        for page in range(16):
+            alloc.home_of(page, 0)
+        assert alloc.imbalance() == 0
+
+    def test_bad_toucher_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinAllocator(4, 16).home_of(0, toucher=4)
+
+
+class TestRandom:
+    def test_deterministic(self):
+        a = RandomAllocator(4, 64, seed=1)
+        b = RandomAllocator(4, 64, seed=1)
+        assert [a.home_of(p, 0) for p in range(64)] == \
+            [b.home_of(p, 0) for p in range(64)]
+
+    def test_seed_changes_layout(self):
+        a = RandomAllocator(4, 64, seed=1)
+        b = RandomAllocator(4, 64, seed=2)
+        homes_a = [a.home_of(p, 0) for p in range(64)]
+        homes_b = [b.home_of(p, 0) for p in range(64)]
+        assert homes_a != homes_b
+
+    def test_roughly_uniform(self):
+        alloc = RandomAllocator(8, 800)
+        for page in range(800):
+            alloc.home_of(page, 0)
+        counts = [alloc.pages_homed_at(n) for n in range(8)]
+        assert min(counts) > 50  # 100 expected per node
+
+    def test_sticky(self):
+        alloc = RandomAllocator(4, 16)
+        first = alloc.home_of(3, 1)
+        assert alloc.home_of(3, 2) == first
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_allocator("first-touch", 4, 16), HomeAllocator)
+        assert isinstance(make_allocator("round-robin", 4, 16),
+                          RoundRobinAllocator)
+        assert isinstance(make_allocator("random", 4, 16), RandomAllocator)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown home placement"):
+            make_allocator("best-fit", 4, 16)
+
+
+class TestEndToEnd:
+    def test_first_touch_localises_better(self):
+        """The canonical placement result: first-touch keeps a node's own
+        data local; blind policies send ~(n-1)/n of it remote."""
+        wl = synthetic.generate(n_nodes=4, home_pages_per_node=8,
+                                remote_pages_per_node=8, sweeps=4,
+                                home_lines_per_sweep=128, seed=2)
+        results = {}
+        for placement in ("first-touch", "round-robin"):
+            cfg = SystemConfig(n_nodes=4, memory_pressure=0.5,
+                               home_placement=placement)
+            results[placement] = simulate(wl, scaled_policy("CCNUMA"),
+                                          cfg).aggregate()
+        assert results["first-touch"].HOME > results["round-robin"].HOME
+        assert results["first-touch"].total_cycles() < \
+            results["round-robin"].total_cycles()
+
+    def test_config_validates_placement_lazily(self):
+        # Unknown placement surfaces when the machine is built.
+        wl = synthetic.generate(n_nodes=2, home_pages_per_node=4,
+                                remote_pages_per_node=4, sweeps=2,
+                                home_lines_per_sweep=16)
+        cfg = SystemConfig(n_nodes=2, home_placement="best-fit")
+        with pytest.raises(ValueError):
+            simulate(wl, scaled_policy("CCNUMA"), cfg)

@@ -1,0 +1,75 @@
+"""Tests for the clock-skew queue caps and latency accumulators."""
+
+import pytest
+
+from repro.interconnect.bus import SplitTransactionBus
+from repro.interconnect.network import Network
+from repro.interconnect.topology import SwitchTopology
+from repro.mem.dram import BankedMemory
+from repro.sim.stats import NodeStats
+
+
+class TestDRAMQueueCap:
+    def test_queue_bounded(self):
+        mem = BankedMemory(1, 50, 20, max_queue_occupancies=8)
+        # Saturate the bank far beyond the cap.
+        for _ in range(100):
+            lat = mem.access(0, now=0)
+        assert lat <= 50 + 8 * 20
+
+    def test_skewed_clock_not_booked_as_queueing(self):
+        mem = BankedMemory(1, 50, 20, max_queue_occupancies=8)
+        mem.access(0, now=1_000_000)   # a far-ahead node touches the bank
+        # A node whose clock is behind must not see a megacycle queue.
+        assert mem.access(0, now=0) <= 50 + 8 * 20
+
+    def test_cap_zero_disables_queueing(self):
+        mem = BankedMemory(1, 50, 20, max_queue_occupancies=0)
+        mem.access(0, now=0)
+        assert mem.access(0, now=0) == 50
+
+
+class TestNetworkQueueCap:
+    def test_port_queue_bounded(self):
+        net = Network(SwitchTopology(4), port_occupancy=8,
+                      max_queue_occupancies=8)
+        for _ in range(100):
+            lat = net.one_way(0, 1, now=0)
+        assert lat <= net.min_one_way(0, 1) + 8 * 8
+
+    def test_skew_guard(self):
+        net = Network(SwitchTopology(4), port_occupancy=8,
+                      max_queue_occupancies=8)
+        net.one_way(2, 1, now=10_000_000)
+        assert net.one_way(0, 1, now=0) <= net.min_one_way(0, 1) + 64
+
+
+class TestBusQueueCap:
+    def test_bounded(self):
+        bus = SplitTransactionBus(occupancy=4, max_queue_occupancies=8)
+        for _ in range(100):
+            lat = bus.transact(0)
+        assert lat <= 8 * 4
+
+    def test_skew_guard(self):
+        bus = SplitTransactionBus(occupancy=4, max_queue_occupancies=8)
+        bus.transact(5_000_000)
+        assert bus.transact(0) <= 32
+
+
+class TestLatencyAccumulators:
+    def test_average_latency_zero_when_no_misses(self):
+        assert NodeStats().average_latency("HOME") == 0.0
+
+    def test_average_latency_division(self):
+        s = NodeStats()
+        s.COLD = 4
+        s.COLD_LAT = 800
+        assert s.average_latency("COLD") == 200.0
+
+    def test_merge_includes_latency_slots(self):
+        a, b = NodeStats(), NodeStats()
+        a.RAC, a.RAC_LAT = 1, 36
+        b.RAC, b.RAC_LAT = 3, 120
+        a.merge(b)
+        assert a.average_latency("RAC") == pytest.approx(39.0)

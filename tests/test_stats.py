@@ -1,0 +1,83 @@
+"""Unit tests for stats buckets and RunResult aggregation."""
+
+from repro.sim.stats import MISS_CLASSES, NodeStats, RunResult, TIME_BUCKETS
+
+
+def stats_with(**kwargs):
+    s = NodeStats()
+    for k, v in kwargs.items():
+        setattr(s, k, v)
+    return s
+
+
+class TestNodeStats:
+    def test_starts_zeroed(self):
+        s = NodeStats()
+        assert s.total_cycles() == 0
+        assert s.shared_misses() == 0
+
+    def test_total_cycles_sums_buckets(self):
+        s = stats_with(U_SH_MEM=10, K_BASE=1, K_OVERHD=2, U_INSTR=3,
+                       U_LC_MEM=4, SYNC=5)
+        assert s.total_cycles() == 25
+        assert s.busy_cycles() == 20
+
+    def test_miss_classes(self):
+        s = stats_with(HOME=1, SCOMA=2, RAC=3, COLD=4, CONF_CAPC=5)
+        assert s.shared_misses() == 15
+        assert s.remote_misses() == 9
+
+    def test_breakdown_keys(self):
+        s = NodeStats()
+        assert set(s.time_breakdown()) == set(TIME_BUCKETS)
+        assert set(s.miss_breakdown()) == set(MISS_CLASSES)
+
+    def test_merge(self):
+        a = stats_with(U_SH_MEM=10, HOME=1)
+        b = stats_with(U_SH_MEM=5, HOME=2)
+        a.merge(b)
+        assert a.U_SH_MEM == 15 and a.HOME == 3
+
+    def test_as_dict_roundtrip(self):
+        s = stats_with(relocations=7)
+        assert s.as_dict()["relocations"] == 7
+
+
+class TestRunResult:
+    def make(self, per_node_cycles):
+        nodes = []
+        for c in per_node_cycles:
+            nodes.append(stats_with(U_SH_MEM=c, HOME=1))
+        return RunResult("ASCOMA", "em3d", 0.7, nodes)
+
+    def test_execution_time_is_slowest_node(self):
+        assert self.make([10, 30, 20]).execution_time() == 30
+
+    def test_aggregate_sums_nodes(self):
+        r = self.make([10, 30])
+        assert r.aggregate().U_SH_MEM == 40
+        assert r.aggregate().HOME == 2
+
+    def test_relative_time(self):
+        a = self.make([10, 10])
+        b = self.make([20, 20])
+        assert b.relative_time(a) == 2.0
+
+    def test_time_breakdown_normalised(self):
+        r = self.make([10, 10])
+        breakdown = r.time_breakdown(normalise_by=40)
+        assert breakdown["U_SH_MEM"] == 0.5
+
+    def test_kernel_overhead_fraction(self):
+        nodes = [stats_with(U_SH_MEM=90, K_OVERHD=10)]
+        r = RunResult("RNUMA", "radix", 0.9, nodes)
+        assert r.kernel_overhead_fraction() == 0.1
+
+    def test_summary_fields(self):
+        summary = self.make([5]).summary()
+        for key in ("architecture", "workload", "pressure", "execution_time",
+                    "time", "misses"):
+            assert key in summary
+
+    def test_n_nodes(self):
+        assert self.make([1, 2, 3]).n_nodes == 3

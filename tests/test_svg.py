@@ -1,0 +1,69 @@
+"""Tests for the dependency-free SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.harness.svg import figure_svg, render_stacked_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestRenderStackedSvg:
+    def series(self):
+        return {
+            "CCNUMA": {"A": 0.6, "B": 0.4},
+            "ASCOMA(90%)": {"A": 0.3, "B": 0.2},
+        }
+
+    def test_well_formed_xml(self):
+        svg = render_stacked_svg(self.series(), ["A", "B"], "t")
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_rect_per_nonzero_segment_plus_legend(self):
+        svg = render_stacked_svg(self.series(), ["A", "B"], "t")
+        root = ET.fromstring(svg)
+        rects = root.findall(f".//{SVG_NS}rect")
+        # 2 bars x 2 segments + 2 legend swatches.
+        assert len(rects) == 6
+
+    def test_zero_segments_omitted(self):
+        svg = render_stacked_svg({"X": {"A": 1.0, "B": 0.0}}, ["A", "B"], "t")
+        root = ET.fromstring(svg)
+        bar_rects = [r for r in root.findall(f".//{SVG_NS}rect")
+                     if float(r.get("height")) > 12]
+        assert len(bar_rects) == 1
+
+    def test_widths_proportional(self):
+        svg = render_stacked_svg({"big": {"A": 2.0}, "small": {"A": 1.0}},
+                                 ["A"], "t")
+        root = ET.fromstring(svg)
+        widths = sorted(float(r.get("width"))
+                        for r in root.findall(f".//{SVG_NS}rect")
+                        if float(r.get("height")) > 12)
+        assert widths[1] == pytest.approx(2 * widths[0], rel=1e-3)
+
+    def test_labels_escaped(self):
+        svg = render_stacked_svg({"<evil>": {"A": 1.0}}, ["A"], "a & b")
+        ET.fromstring(svg)  # would raise if unescaped
+        assert "&lt;evil&gt;" in svg
+
+
+class TestFigureSvg:
+    def test_time_chart_written(self, tmp_path):
+        path = tmp_path / "fig.svg"
+        figure_svg("fft", str(path), scale=0.2)
+        root = ET.fromstring(path.read_text())
+        text = ET.tostring(root, encoding="unicode")
+        assert "CCNUMA" in text and "U_SH_MEM" in text
+
+    def test_miss_chart_written(self, tmp_path):
+        path = tmp_path / "fig.svg"
+        figure_svg("fft", str(path), scale=0.2, chart="misses")
+        assert "CONF_CAPC" in path.read_text()
+
+    def test_bad_chart_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            figure_svg("fft", str(tmp_path / "x.svg"), scale=0.2,
+                       chart="pie")

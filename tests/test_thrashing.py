@@ -1,0 +1,124 @@
+"""Unit tests for the backoff controllers."""
+
+import pytest
+
+from repro.core.thrashing import AdaptiveBackoff, BreakEvenDetector
+
+
+class TestAdaptiveBackoff:
+    def test_thrash_raises_threshold(self):
+        b = AdaptiveBackoff(base_threshold=16, increment=8)
+        b.on_thrash()
+        assert b.threshold == 24
+        assert b.backoffs == 1
+
+    def test_disable_after_consecutive_thrash(self):
+        b = AdaptiveBackoff(16, 8, disable_after=2)
+        b.on_thrash()
+        assert b.enabled
+        b.on_thrash()
+        assert not b.enabled
+        assert b.effective_threshold() == 0
+
+    def test_recovery_resets_consecutive_count(self):
+        b = AdaptiveBackoff(16, 8, disable_after=2)
+        b.on_thrash()
+        b.on_recovered()
+        b.on_thrash()
+        assert b.enabled  # consecutive count restarted
+
+    def test_recovery_walks_threshold_down(self):
+        b = AdaptiveBackoff(16, 8)
+        b.on_thrash()
+        b.on_thrash()
+        assert b.threshold == 32
+        b.on_recovered()
+        assert b.threshold == 24
+        b.on_recovered()
+        assert b.threshold == 16
+        b.on_recovered()
+        assert b.threshold == 16  # floor at base
+
+    def test_re_enable_on_recovery(self):
+        b = AdaptiveBackoff(16, 8, disable_after=1)
+        b.on_thrash()
+        assert not b.enabled
+        b.on_recovered()
+        assert b.enabled
+        assert b.re_enables == 1
+
+    def test_effective_threshold_tracks_state(self):
+        b = AdaptiveBackoff(16, 8, disable_after=1)
+        assert b.effective_threshold() == 16
+        b.on_thrash()
+        assert b.effective_threshold() == 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            AdaptiveBackoff(base_threshold=0)
+        with pytest.raises(ValueError):
+            AdaptiveBackoff(16, increment=0)
+        with pytest.raises(ValueError):
+            AdaptiveBackoff(16, 8, disable_after=0)
+
+
+class TestBreakEvenDetector:
+    def test_no_evaluation_before_cadence(self):
+        d = BreakEvenDetector(break_even=8, base_threshold=16, increment=8,
+                              min_evictions_per_eval=4)
+        for _ in range(3):
+            d.record_eviction(0, cached_pages=1)
+        assert d.evaluations == 0
+        assert d.threshold == 16
+
+    def test_losers_raise_threshold(self):
+        d = BreakEvenDetector(8, 16, 8, min_evictions_per_eval=4)
+        for _ in range(4):
+            d.record_eviction(pagecache_hits=2, cached_pages=1)
+        assert d.evaluations == 1
+        assert d.threshold == 24
+        assert d.backoffs == 1
+
+    def test_winners_keep_threshold(self):
+        d = BreakEvenDetector(8, 16, 8, min_evictions_per_eval=4)
+        for _ in range(4):
+            d.record_eviction(pagecache_hits=50, cached_pages=1)
+        assert d.threshold == 16
+
+    def test_winners_recover_raised_threshold(self):
+        d = BreakEvenDetector(8, 16, 8, min_evictions_per_eval=4)
+        for _ in range(4):
+            d.record_eviction(0, 1)
+        for _ in range(4):
+            d.record_eviction(50, 1)
+        assert d.threshold == 16
+        assert d.recoveries == 1
+
+    def test_cadence_scales_with_cached_pages(self):
+        d = BreakEvenDetector(8, 16, 8, min_evictions_per_eval=1)
+        # 10 cached pages -> evaluate after 20 evictions.
+        for i in range(19):
+            d.record_eviction(0, cached_pages=10)
+        assert d.evaluations == 0
+        d.record_eviction(0, cached_pages=10)
+        assert d.evaluations == 1
+
+    def test_counters_reset_after_evaluation(self):
+        d = BreakEvenDetector(8, 16, 8, min_evictions_per_eval=2)
+        d.record_eviction(0, 1)
+        d.record_eviction(0, 1)
+        assert d.evictions_since_eval == 0
+        assert d.losers_since_eval == 0
+
+    def test_break_even_boundary_counts_as_winner(self):
+        d = BreakEvenDetector(break_even=8, base_threshold=16, increment=8,
+                              min_evictions_per_eval=2)
+        d.record_eviction(8, 1)   # exactly break-even: repaid
+        d.record_eviction(8, 1)
+        assert d.threshold == 16
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BreakEvenDetector(break_even=0)
+        with pytest.raises(ValueError):
+            BreakEvenDetector(8, 16, 8, min_evictions_per_eval=0)

@@ -1,0 +1,131 @@
+"""Unit tests for trace records, builders and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import (EV_BARRIER, EV_COMPUTE, EV_LOCAL, EV_READ,
+                             EV_WRITE, Trace, TraceBuilder, WorkloadTraces)
+
+
+class TestTraceBuilder:
+    def test_basic_events(self):
+        b = TraceBuilder()
+        b.read(10)
+        b.write(20)
+        b.compute(100)
+        b.local(50)
+        b.barrier(0)
+        t = b.build()
+        assert list(t) == [(EV_READ, 10), (EV_WRITE, 20), (EV_COMPUTE, 100),
+                           (EV_LOCAL, 50), (EV_BARRIER, 0)]
+
+    def test_zero_compute_elided(self):
+        b = TraceBuilder()
+        b.compute(0)
+        b.local(0)
+        assert len(b) == 0
+
+    def test_negative_cycles_rejected(self):
+        b = TraceBuilder()
+        with pytest.raises(ValueError):
+            b.compute(-1)
+        with pytest.raises(ValueError):
+            b.local(-5)
+
+    def test_extend_refs(self):
+        b = TraceBuilder()
+        b.extend_refs(np.array([1, 2, 3]), np.array([False, True, False]))
+        t = b.build()
+        assert t.count(EV_READ) == 2
+        assert t.count(EV_WRITE) == 1
+
+    def test_extend_refs_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TraceBuilder().extend_refs(np.array([1]), np.array([True, False]))
+
+
+class TestTrace:
+    def make(self):
+        b = TraceBuilder()
+        b.read(0)
+        b.read(128)    # page 1, line 0 (128 lines/page)
+        b.write(200)
+        b.barrier(0)
+        b.compute(5)
+        return b.build()
+
+    def test_len(self):
+        assert len(self.make()) == 5
+
+    def test_shared_refs(self):
+        assert self.make().shared_refs() == 3
+
+    def test_barriers(self):
+        assert self.make().barriers() == 1
+
+    def test_pages_touched(self):
+        assert self.make().pages_touched(128) == {0, 1}
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros(3, dtype=np.uint8), np.zeros(2, dtype=np.int64))
+
+    def test_event_name(self):
+        assert self.make().event_name(EV_READ) == "READ"
+
+
+class TestWorkloadTraces:
+    def make(self, n_nodes=2):
+        traces = []
+        for node in range(n_nodes):
+            b = TraceBuilder()
+            b.read(node * 128)
+            b.barrier(0)
+            traces.append(b.build())
+        return WorkloadTraces("t", traces, home_pages_per_node=1,
+                             total_shared_pages=n_nodes)
+
+    def test_basic_metadata(self):
+        wl = self.make()
+        assert wl.n_nodes == 2
+        assert wl.total_refs() == 2
+
+    def test_mismatched_barriers_rejected(self):
+        b0 = TraceBuilder(); b0.barrier(0)
+        b1 = TraceBuilder()
+        with pytest.raises(ValueError):
+            WorkloadTraces("bad", [b0.build(), b1.build()], 1, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadTraces("bad", [], 1, 2)
+
+    def test_max_remote_pages_with_home_map(self):
+        wl = self.make()
+        home_of = {0: 0, 1: 1}
+        assert wl.max_remote_pages(128, home_of) == 0
+        cross = {0: 1, 1: 0}  # every touched page is remote
+        assert wl.max_remote_pages(128, cross) == 1
+
+    def test_ideal_pressure_formula(self):
+        wl = self.make()
+        # 0 remote pages under the proportional-share estimate.
+        assert wl.ideal_pressure(128) == 1.0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        wl = self.make()
+        path = tmp_path / "wl.bin"
+        wl.save(str(path))
+        loaded = WorkloadTraces.load(str(path))
+        assert loaded.name == wl.name
+        assert loaded.n_nodes == wl.n_nodes
+        assert loaded.total_refs() == wl.total_refs()
+        for a, b in zip(loaded.traces, wl.traces):
+            assert np.array_equal(a.kinds, b.kinds)
+            assert np.array_equal(a.args, b.args)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a trace file")
+        with pytest.raises(ValueError):
+            WorkloadTraces.load(str(path))

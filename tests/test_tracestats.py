@@ -1,0 +1,127 @@
+"""Tests for the workload trace-analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import TraceBuilder, WorkloadTraces
+from repro.sim.tracestats import (analyze, node_summary,
+                                  page_reference_counts,
+                                  page_reuse_distances, sharing_profile,
+                                  working_set_curve)
+from repro.workloads import em3d, lu, migratory
+
+LPP = 128
+
+
+def trace_of_pages(pages):
+    b = TraceBuilder()
+    for page in pages:
+        b.read(page * LPP)
+    b.barrier(0)
+    return b.build()
+
+
+class TestReferenceCounts:
+    def test_counts(self):
+        t = trace_of_pages([1, 2, 1, 1, 3])
+        assert page_reference_counts(t, LPP) == {1: 3, 2: 1, 3: 1}
+
+    def test_empty_trace(self):
+        b = TraceBuilder()
+        b.barrier(0)
+        assert page_reference_counts(b.build(), LPP) == {}
+
+    def test_ignores_non_memory_events(self):
+        b = TraceBuilder()
+        b.compute(100)
+        b.read(0)
+        b.local(50)
+        b.barrier(0)
+        assert page_reference_counts(b.build(), LPP) == {0: 1}
+
+
+class TestReuseDistances:
+    def test_immediate_reuse_is_zero(self):
+        t = trace_of_pages([1, 1])
+        assert page_reuse_distances(t, LPP).tolist() == [0]
+
+    def test_one_intervening_page(self):
+        t = trace_of_pages([1, 2, 1])
+        assert page_reuse_distances(t, LPP).tolist() == [1]
+
+    def test_first_touches_excluded(self):
+        t = trace_of_pages([1, 2, 3])
+        assert len(page_reuse_distances(t, LPP)) == 0
+
+    def test_classic_sequence(self):
+        # a b c a: distance of final a = 2 distinct pages between.
+        t = trace_of_pages([1, 2, 3, 1])
+        assert page_reuse_distances(t, LPP).tolist() == [2]
+
+    def test_cyclic_sweep_distance_is_set_size_minus_one(self):
+        pages = [1, 2, 3, 4] * 3
+        t = trace_of_pages(pages)
+        distances = page_reuse_distances(t, LPP)
+        assert set(distances.tolist()) == {3}
+
+
+class TestWorkingSetCurve:
+    def test_stable_working_set(self):
+        t = trace_of_pages([1, 2, 3, 4] * 10)
+        curve = working_set_curve(t, LPP, n_windows=4)
+        assert all(size == 4 for _, size in curve)
+
+    def test_phased_working_set(self):
+        t = trace_of_pages([1] * 20 + [2] * 20)
+        curve = working_set_curve(t, LPP, n_windows=2)
+        assert [size for _, size in curve] == [1, 1]
+
+    def test_empty(self):
+        b = TraceBuilder()
+        b.barrier(0)
+        assert working_set_curve(b.build(), LPP) == []
+
+
+class TestSharingProfile:
+    def test_private_and_shared(self):
+        t0 = trace_of_pages([0, 1])   # touches 0,1
+        t1 = trace_of_pages([1, 2])   # touches 1,2
+        wl = WorkloadTraces("x", [t0, t1], 1, 4)
+        profile = sharing_profile(wl, LPP)
+        assert profile == {1: 2, 2: 1}  # pages 0,2 private; page 1 shared
+
+    def test_migratory_workload_is_pairwise(self):
+        wl = migratory.generate(scale=0.25, sweeps=4)
+        profile = sharing_profile(wl, LPP)
+        # Producer + one consumer: every shared page has exactly 2 touchers.
+        assert set(profile) == {2}
+
+    def test_em3d_has_multi_sharers(self):
+        wl = em3d.generate(scale=0.25)
+        profile = sharing_profile(wl, LPP)
+        assert max(profile) >= 3  # home + both neighbours
+
+
+class TestAnalyze:
+    def test_node_summary_fields(self):
+        wl = em3d.generate(scale=0.25)
+        summary = node_summary(wl, 0, LPP)
+        assert summary["remote_pages"] > 0
+        assert summary["shared_refs"] > 0
+        assert summary["p90_reuse_distance"] >= summary["median_reuse_distance"]
+
+    def test_analyze_ideal_pressure_matches_spec(self):
+        wl = em3d.generate(scale=0.25)
+        report = analyze(wl, LPP)
+        spec_ideal = wl.params["spec"]["ideal_pressure"]
+        assert report["ideal_pressure"] == pytest.approx(spec_ideal, abs=0.1)
+
+    def test_lu_phases_visible_in_working_set(self):
+        """lu's phased access shows much smaller window working sets than
+        its total remote footprint."""
+        wl = lu.generate(scale=0.35)
+        curve = working_set_curve(wl.traces[0], LPP, n_windows=18)
+        total_pages = len(wl.traces[0].pages_touched(LPP))
+        # Skip the prologue window (touches all home pages at once).
+        steady = [size for _, size in curve[2:]]
+        assert max(steady) < total_pages / 2
