@@ -6,7 +6,7 @@ analytic ideal pressure, and AS-COMA must have no crossover below 90%
 on the applications where the paper says it wins or breaks even.
 """
 
-from repro.harness.crossover import crossover_report, find_crossover
+from repro.harness.crossover import crossover_report
 from repro.harness.experiment import DEFAULT_SCALE
 from repro.harness.report import format_table
 

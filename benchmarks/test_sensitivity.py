@@ -17,7 +17,6 @@ R-NUMA vs CC-NUMA):
 
 import pytest
 
-from repro.core import make_policy
 from repro.harness.experiment import DEFAULT_SCALE, get_workload, scaled_policy
 from repro.kernel.costs import KernelCosts
 from repro.sim.config import SystemConfig

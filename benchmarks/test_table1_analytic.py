@@ -6,7 +6,7 @@ track the simulator's measured shared-memory stall time.
 """
 
 from repro.core import MissCounts, RemoteOverheadModel
-from repro.harness import render_table1, render_table2, run_app
+from repro.harness import render_table1, render_table2
 from repro.harness.tables import table4
 
 

@@ -23,7 +23,6 @@ Policies are stateless singletons; all mutable per-node state lives in a
 from __future__ import annotations
 
 from ..kernel.pageout import DaemonRunResult, PageoutDaemon
-from ..kernel.vm import PageMode
 
 __all__ = ["ArchitecturePolicy", "PolicyNodeState", "RelocationDecision"]
 

@@ -7,7 +7,7 @@ from .claims import Claim, render_scorecard, validate_all
 from .crossover import crossover_report, find_crossover, relative_time_at
 from .figures import FIGURE_APPS, export_csv, figure_series, render_figure
 from .pagereport import hot_page_report, render_hot_pages
-from .parallel import run_cells, run_matrix_parallel
+from .parallel import matrix_specs, run_cells, run_matrix_parallel
 from .svg import figure_svg, render_stacked_svg
 from .serialize import (config_from_dict, config_to_dict, load_results,
                         result_from_dict, result_to_dict, save_results)
@@ -42,6 +42,7 @@ __all__ = [
     "render_table6",
     "render_scorecard",
     "hot_page_report",
+    "matrix_specs",
     "render_hot_pages",
     "result_from_dict",
     "result_to_dict",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .experiment import APP_PRESSURES, DEFAULT_SCALE, run_app, run_pressure_sweep
+from .experiment import APP_PRESSURES, DEFAULT_SCALE, run_app
 from .figures import figure_series
 from .report import format_table
 
@@ -111,7 +111,7 @@ def validate_all(scale: float = DEFAULT_SCALE) -> list[Claim]:
                 series["lu"]["relative_total"].items() if label != "CCNUMA")
     add("lu: all architectures (even pure S-COMA at 90%) beat CC-NUMA",
         "Section 5.2", "all rel < 1.0",
-        f"max rel {max(v for l, v in series['lu']['relative_total'].items() if l != 'CCNUMA'):.2f}",
+        f"max rel {max(v for lab, v in series['lu']['relative_total'].items() if lab != 'CCNUMA'):.2f}",
         lu_ok)
 
     # 10. fft/ocean: hybrids within a few percent of CC-NUMA.

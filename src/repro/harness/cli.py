@@ -6,16 +6,29 @@ Commands
 ``figure APP``         regenerate the Figure 2/3 charts for one app
 ``run APP ARCH``       one simulation, summary printed
 ``sweep APP``          pressure sweep for one app across architectures
+``matrix``             the whole evaluation matrix, parallel + resumable
 ``claims``             run the paper-claim scorecard
 ``hotpages APP ARCH``  hot-page report after one run
 ``analyze APP``        workload characterisation (tracestats)
+``store ACTION``       inspect/clear the result store (info|list|clear)
 
 Every command accepts ``--scale`` (workload scale, default 0.5).
+
+Caching
+-------
+Simulation-backed commands go through the runtime layer
+(:mod:`repro.runtime`): results are cached content-addressed under
+``--store-dir`` (default ``results/store``, or ``$REPRO_STORE_DIR``),
+so re-rendering a table or figure is a disk read, not a re-simulation.
+``--no-cache`` disables the store for one invocation; ``--refresh``
+re-simulates and overwrites cached cells.  ``repro store clear`` wipes
+the cache; see ``docs/runtime.md`` for the invalidation rules.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 __all__ = ["main", "build_parser"]
@@ -27,6 +40,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="AS-COMA reproduction: tables, figures and simulations")
     parser.add_argument("--scale", type=float, default=0.5,
                         help="workload scale factor (default 0.5)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result store")
+    parser.add_argument("--refresh", action="store_true",
+                        help="re-simulate cached cells (and re-store them)")
+    parser.add_argument("--store-dir",
+                        default=os.environ.get("REPRO_STORE_DIR",
+                                               "results/store"),
+                        help="result store directory"
+                             " (default results/store or $REPRO_STORE_DIR)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("table", help="regenerate a paper table")
@@ -43,6 +65,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="pressure sweep for one app")
     p.add_argument("app")
 
+    p = sub.add_parser("matrix",
+                       help="run the full evaluation matrix (resumable)")
+    p.add_argument("--apps", help="comma-separated app subset (default: all)")
+    p.add_argument("--serial", action="store_true",
+                   help="run inline instead of over a process pool")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: one per cell, capped"
+                        " at the CPU count)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="per-cell retry attempts on failure")
+
     sub.add_parser("claims", help="paper-claim scorecard")
 
     p = sub.add_parser("hotpages", help="hot-page report after one run")
@@ -52,6 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="characterise a workload")
     p.add_argument("app")
+
+    p = sub.add_parser("store", help="inspect or clear the result store")
+    p.add_argument("action", choices=("info", "list", "clear"))
     return parser
 
 
@@ -79,9 +115,9 @@ def _cmd_run(args) -> str:
     lines = [f"{args.app} / {result.architecture} at "
              f"{args.pressure:.0%} memory pressure:",
              f"  execution time : {result.execution_time():,} cycles",
-             f"  time breakdown : " + "  ".join(
+             "  time breakdown : " + "  ".join(
                  f"{k}={v:,}" for k, v in agg.time_breakdown().items()),
-             f"  misses         : " + "  ".join(
+             "  misses         : " + "  ".join(
                  f"{k}={v:,}" for k, v in agg.miss_breakdown().items()),
              f"  page mgmt      : {agg.relocations} relocations,"
              f" {agg.evictions} evictions, {agg.migrations} migrations,"
@@ -90,23 +126,58 @@ def _cmd_run(args) -> str:
 
 
 def _cmd_sweep(args) -> str:
-    from .experiment import APP_PRESSURES, ARCHITECTURES, run_app
+    from .experiment import APP_PRESSURES, ARCHITECTURES, run_pressure_sweep
     from .report import format_table
     pressures = APP_PRESSURES.get(args.app, (0.1, 0.5, 0.9))
-    baseline = run_app(args.app, "CCNUMA", pressures[0],
-                       scale=args.scale).aggregate().total_cycles()
+    # One sweep call: CC-NUMA (pressure-insensitive) is simulated once
+    # for the baseline, not re-run at every pressure point.
+    results = run_pressure_sweep(args.app, pressures=pressures,
+                                 scale=args.scale)
+    baseline = results[("CCNUMA", None)].aggregate().total_cycles()
     rows = []
     for arch in ARCHITECTURES:
         row = [arch]
         for pressure in pressures:
-            total = run_app(args.app, arch, pressure,
-                            scale=args.scale).aggregate().total_cycles()
-            row.append(f"{total / baseline:.2f}")
+            result = (results[("CCNUMA", None)] if arch == "CCNUMA"
+                      else results[(arch, pressure)])
+            row.append(f"{result.aggregate().total_cycles() / baseline:.2f}")
         rows.append(row)
     headers = ["Architecture"] + [f"{p:.0%}" for p in pressures]
     return format_table(headers, rows,
                         title=f"{args.app}: execution time relative to"
                               " CC-NUMA at the lowest pressure")
+
+
+def _cmd_matrix(args):
+    from ..runtime import RunFailure, execute, log_progress
+    from .experiment import APP_PRESSURES
+    from .parallel import matrix_specs
+    from .report import format_table
+    apps = tuple(a for a in args.apps.split(",") if a) if args.apps else None
+    for app in apps or ():
+        if app not in APP_PRESSURES:
+            raise ValueError(f"unknown app {app!r};"
+                             f" choose from {sorted(APP_PRESSURES)}")
+    specs = matrix_specs(apps, args.scale)
+    outcomes = execute(specs, parallel=not args.serial,
+                       max_workers=args.workers, retries=args.retries,
+                       progress=log_progress)
+    failures = [o for o in outcomes.values() if isinstance(o, RunFailure)]
+    per_app: dict = {}
+    for spec, outcome in outcomes.items():
+        ok, bad = per_app.setdefault(spec.app, [0, 0])
+        per_app[spec.app] = ([ok, bad + 1] if isinstance(outcome, RunFailure)
+                             else [ok + 1, bad])
+    rows = [[app, ok, bad] for app, (ok, bad) in sorted(per_app.items())]
+    text = format_table(["App", "Completed", "Failed"], rows,
+                        title=f"Evaluation matrix at scale {args.scale:g}:"
+                              f" {len(specs) - len(failures)}/{len(specs)}"
+                              " cells completed")
+    if failures:
+        text += "\n\nfailed cells (re-run to resume just these):"
+        for failure in failures:
+            text += f"\n  {failure.label()}"
+    return text, (1 if failures else 0)
 
 
 def _cmd_claims(args) -> str:
@@ -147,26 +218,59 @@ def _cmd_analyze(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_store(args) -> str:
+    from ..runtime import RunStore, get_default_store
+    store = get_default_store() or RunStore(args.store_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        return f"removed {removed} artifact(s) from {store.root}"
+    if args.action == "list":
+        entries = store.entries()
+        if not entries:
+            return f"store at {store.root} is empty"
+        lines = [f"store at {store.root}: {len(entries)} artifact(s)"]
+        for entry in entries:
+            spec = entry["spec"]
+            lines.append(f"  {entry['spec_hash']}  {spec.get('app')}"
+                         f"/{spec.get('arch')}@{spec.get('pressure')}"
+                         f" x{spec.get('scale')}")
+        return "\n".join(lines)
+    info = store.describe()
+    session = info.pop("session")
+    lines = [f"{key}: {value}" for key, value in info.items()]
+    lines.append("session: " + ", ".join(f"{k}={v}"
+                                         for k, v in session.items()))
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "matrix": _cmd_matrix,
     "claims": _cmd_claims,
     "hotpages": _cmd_hotpages,
     "analyze": _cmd_analyze,
+    "store": _cmd_store,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from ..runtime import RunStore, use_store
+    store = None if args.no_cache else RunStore(args.store_dir)
     try:
-        output = _COMMANDS[args.command](args)
-    except ValueError as exc:
+        with use_store(store, refresh=args.refresh):
+            output = _COMMANDS[args.command](args)
+    except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
     print(output)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

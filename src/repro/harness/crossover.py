@@ -15,7 +15,7 @@ architectures.
 
 from __future__ import annotations
 
-from .experiment import DEFAULT_SCALE, get_workload, run_app, scaled_policy
+from .experiment import DEFAULT_SCALE, get_workload, run_app
 
 __all__ = ["relative_time_at", "find_crossover", "crossover_report"]
 

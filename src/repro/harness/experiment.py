@@ -21,8 +21,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from ..core import make_policy
-from ..sim.config import SystemConfig
-from ..sim.engine import simulate
+from ..runtime import RunSpec, execute_spec
 from ..sim.stats import RunResult
 from ..sim.trace import WorkloadTraces
 from ..workloads import generate_workload
@@ -79,10 +78,17 @@ def get_workload(app: str, scale: float = DEFAULT_SCALE) -> WorkloadTraces:
 
 def run_app(app: str, arch: str, pressure: float,
             scale: float = DEFAULT_SCALE, **policy_overrides) -> RunResult:
-    """One cell of the evaluation matrix."""
-    workload = get_workload(app, scale)
-    config = SystemConfig(n_nodes=workload.n_nodes, memory_pressure=pressure)
-    return simulate(workload, scaled_policy(arch, **policy_overrides), config)
+    """One cell of the evaluation matrix.
+
+    Goes through the runtime layer: with an ambient
+    :class:`~repro.runtime.store.RunStore` installed (the CLI installs
+    one by default), repeated cells are served from disk instead of
+    re-simulated.  Without one (the library/test default) this is a
+    plain simulation, as before.
+    """
+    spec = RunSpec.make(app, arch, pressure, scale,
+                        policy_overrides=policy_overrides)
+    return execute_spec(spec)
 
 
 def run_pressure_sweep(app: str, archs=ARCHITECTURES, pressures=None,
@@ -93,7 +99,10 @@ def run_pressure_sweep(app: str, archs=ARCHITECTURES, pressures=None,
     under key ``("CCNUMA", None)`` -- CC-NUMA is pressure-insensitive,
     so the paper plots a single bar for it.
     """
-    pressures = pressures or APP_PRESSURES[app]
+    pressures = pressures or APP_PRESSURES.get(app)
+    if pressures is None:
+        raise ValueError(f"unknown application {app!r};"
+                         f" choose from {sorted(APP_PRESSURES)}")
     results: dict = {}
     baseline = run_app(app, "CCNUMA", pressures[0], scale)
     results[("CCNUMA", None)] = baseline

@@ -1,13 +1,20 @@
 """Parallel execution of the evaluation matrix.
 
 The full Figure 2/3 matrix is ~100 independent simulations; this module
-fans them out over a process pool.  Runs are identified by
-``(app, arch, pressure, scale)`` tuples so workers regenerate workloads
-locally (traces are deterministic; shipping them through pickle would
-cost more than regenerating).  Results come back as
-:class:`~repro.sim.stats.RunResult` objects, which pickle cleanly.
+fans them out over a process pool via the runtime executor
+(:mod:`repro.runtime.executor`).  Cells are canonical
+:class:`~repro.runtime.spec.RunSpec` values — the legacy
+``(app, arch, pressure, scale)`` tuple API is kept as a thin adapter —
+so workers regenerate workloads locally (traces are deterministic;
+shipping them through pickle would cost more than regenerating).
 
-Used by the CLI's ``sweep --parallel`` path and available as a library
+Executor guarantees inherited here: duplicate cells are simulated once
+and fanned back out; a failing cell comes back as a
+:class:`~repro.runtime.spec.RunFailure` naming its spec instead of
+killing the pool; with a store attached, already-computed cells resume
+from disk.
+
+Used by the CLI's ``sweep``/``matrix`` paths and available as a library
 call for large parameter studies::
 
     from repro.harness.parallel import run_cells
@@ -17,63 +24,85 @@ call for large parameter studies::
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-
+from ..runtime import RunFailure, RunSpec, execute
 from ..sim.stats import RunResult
 
-__all__ = ["run_cell", "run_cells", "run_matrix_parallel"]
+__all__ = ["run_cell", "run_cells", "run_matrix_parallel", "matrix_specs"]
 
 
 def run_cell(cell: tuple) -> RunResult:
-    """Worker entry: one (app, arch, pressure, scale) simulation.
-
-    Module-level so it pickles for the process pool; imports stay inside
-    so workers only pay for what they use.
-    """
-    app, arch, pressure, scale = cell
-    from .experiment import run_app
-    return run_app(app, arch, pressure, scale=scale)
+    """One (app, arch, pressure, scale) simulation; exceptions propagate."""
+    return RunSpec.from_cell(cell).execute()
 
 
 def run_cells(cells: list[tuple], max_workers: int | None = None,
-              parallel: bool = True) -> dict[tuple, RunResult]:
+              parallel: bool = True, *, store=None,
+              refresh: bool | None = None, retries: int = 0,
+              progress=None) -> dict[tuple, RunResult | RunFailure]:
     """Run many matrix cells, in parallel by default.
 
-    Returns ``{cell: RunResult}``.  ``parallel=False`` runs inline
-    (deterministic single-process path for tests and debugging).
+    Returns ``{cell: RunResult | RunFailure}`` with one entry per input
+    cell — duplicates are simulated once and fanned back out.
+    ``parallel=False`` runs inline (deterministic single-process path
+    for tests and debugging); *store*/*refresh*/*retries*/*progress*
+    pass straight through to :func:`repro.runtime.execute`.
     """
     cells = list(cells)
-    if not parallel or len(cells) <= 1:
-        return {cell: run_cell(cell) for cell in cells}
-    workers = max_workers or min(len(cells), os.cpu_count() or 2)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        results = pool.map(run_cell, cells)
-        return dict(zip(cells, results))
+    specs = [RunSpec.from_cell(cell) for cell in cells]
+    outcomes = execute(specs, store=store, refresh=refresh,
+                       parallel=parallel, max_workers=max_workers,
+                       retries=retries, progress=progress)
+    return {cell: outcomes[spec] for cell, spec in zip(cells, specs)}
 
 
-def run_matrix_parallel(apps=None, scale: float = 0.5,
-                        max_workers: int | None = None) -> dict:
-    """The paper's whole matrix, fanned out: {app: {(arch, p): result}}.
+def matrix_specs(apps=None, scale: float = 0.5) -> list[RunSpec]:
+    """Every spec of the paper's evaluation matrix.
 
-    CC-NUMA runs once per app (pressure-insensitive) under the key
-    ``(\"CCNUMA\", None)``, as in
-    :func:`repro.harness.experiment.run_pressure_sweep`.
+    CC-NUMA appears once per app (pressure-insensitive, simulated at
+    the app's lowest pressure), the other architectures once per
+    (app, pressure) point.
     """
     from .experiment import APP_PRESSURES, ARCHITECTURES
     apps = apps or tuple(APP_PRESSURES)
-    cells = []
+    specs = []
     for app in apps:
         pressures = APP_PRESSURES[app]
-        cells.append((app, "CCNUMA", pressures[0], scale))
+        specs.append(RunSpec(app, "CCNUMA", pressures[0], scale))
         for arch in ARCHITECTURES:
             if arch == "CCNUMA":
                 continue
             for pressure in pressures:
-                cells.append((app, arch, pressure, scale))
-    flat = run_cells(cells, max_workers=max_workers)
+                specs.append(RunSpec(app, arch, pressure, scale))
+    return specs
+
+
+def run_matrix_parallel(apps=None, scale: float = 0.5,
+                        max_workers: int | None = None, *, store=None,
+                        refresh: bool | None = None, retries: int = 0,
+                        progress=None, strict: bool = True) -> dict:
+    """The paper's whole matrix, fanned out: {app: {(arch, p): result}}.
+
+    CC-NUMA runs once per app (pressure-insensitive) under the key
+    ``("CCNUMA", None)``, as in
+    :func:`repro.harness.experiment.run_pressure_sweep`.  With
+    ``strict=True`` (default) any failed cell raises a RuntimeError
+    naming the failing specs; ``strict=False`` instead includes the
+    :class:`RunFailure` objects in the mapping for the caller to
+    inspect.
+    """
+    from .experiment import APP_PRESSURES
+    apps = apps or tuple(APP_PRESSURES)
+    specs = matrix_specs(apps, scale)
+    outcomes = execute(specs, store=store, refresh=refresh,
+                       max_workers=max_workers, retries=retries,
+                       progress=progress)
+    failures = [o for o in outcomes.values() if isinstance(o, RunFailure)]
+    if failures and strict:
+        names = ", ".join(f.label() for f in failures)
+        raise RuntimeError(f"{len(failures)} matrix cell(s) failed: {names}")
     out: dict = {app: {} for app in apps}
-    for (app, arch, pressure, _), result in flat.items():
-        key = ("CCNUMA", None) if arch == "CCNUMA" else (arch, pressure)
-        out[app][key] = result
+    for spec, outcome in outcomes.items():
+        key = (("CCNUMA", None) if spec.arch == "CCNUMA"
+               else (spec.arch, spec.pressure))
+        out[spec.app][key] = outcome
     return out

@@ -5,8 +5,9 @@
 cost model) through plain JSON-compatible dicts, so an experiment's
 exact machine parameters can be stored next to its results.
 ``result_to_dict`` flattens a :class:`~repro.sim.stats.RunResult` the
-same way; ``save_results`` / ``load_results`` persist a whole matrix as
-one JSON file under ``results/``.
+same way (delegating to ``RunResult.to_dict``/``from_dict``, which the
+runtime result store shares); ``save_results`` / ``load_results``
+persist a whole matrix as one JSON file under ``results/``.
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ import json
 
 from ..kernel.costs import KernelCosts
 from ..sim.config import SystemConfig
-from ..sim.stats import NodeStats, RunResult
+from ..sim.stats import RunResult
 
 __all__ = ["config_to_dict", "config_from_dict", "result_to_dict",
            "result_from_dict", "save_results", "load_results"]
@@ -37,25 +38,12 @@ def config_from_dict(data: dict) -> SystemConfig:
 
 
 def result_to_dict(result: RunResult) -> dict:
-    return {
-        "architecture": result.architecture,
-        "workload": result.workload,
-        "pressure": result.pressure,
-        "nodes": [s.as_dict() for s in result.node_stats],
-        # `extra` holds only plain dict/int content by construction.
-        "extra": result.extra,
-    }
+    """Canonical result serialisation (delegates to ``RunResult.to_dict``)."""
+    return result.to_dict()
 
 
 def result_from_dict(data: dict) -> RunResult:
-    nodes = []
-    for node_data in data["nodes"]:
-        stats = NodeStats()
-        for key, value in node_data.items():
-            setattr(stats, key, value)
-        nodes.append(stats)
-    return RunResult(data["architecture"], data["workload"],
-                     data["pressure"], nodes, data.get("extra"))
+    return RunResult.from_dict(data)
 
 
 def save_results(path: str, results: dict[tuple, RunResult],

@@ -8,16 +8,12 @@ produce the text form printed by the benches.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core import TABLE1_ROWS, TABLE2_ROWS, make_policy
 from ..sim.config import SystemConfig
 from ..sim.engine import Engine
-from ..sim.trace import Trace, TraceBuilder, WorkloadTraces
-from ..workloads import WORKLOADS
-from .experiment import (APP_PRESSURES, DEFAULT_SCALE, get_workload, run_app,
-                         SCALED_POLICY_KWARGS)
-from .report import format_table, pct
+from ..sim.trace import TraceBuilder, WorkloadTraces
+from .experiment import APP_PRESSURES, DEFAULT_SCALE, get_workload, run_app
+from .report import format_table
 
 __all__ = [
     "table1", "table2", "table3", "table4", "table5", "table6",

@@ -1,0 +1,35 @@
+"""Run orchestration: canonical specs, result store, batch executor.
+
+The layer between the simulator core and every harness consumer:
+
+* :class:`RunSpec` — one evaluation-matrix cell as a frozen value with
+  a stable content hash;
+* :class:`RunStore` — content-addressed on-disk cache of results
+  (``results/store/<hash>.json``);
+* :func:`execute` / :func:`execute_spec` — store-aware batch/single
+  execution with dedupe, per-cell fault isolation, retry and resume.
+
+See ``docs/runtime.md`` for hashing and cache-invalidation rules.
+"""
+
+from .executor import execute, execute_spec, log_progress, run_spec
+from .spec import SPEC_VERSION, RunFailure, RunSpec, canonical_arch
+from .store import (STORE_VERSION, RunStore, get_default_refresh,
+                    get_default_store, set_default_store, use_store)
+
+__all__ = [
+    "SPEC_VERSION",
+    "STORE_VERSION",
+    "RunFailure",
+    "RunSpec",
+    "RunStore",
+    "canonical_arch",
+    "execute",
+    "execute_spec",
+    "get_default_refresh",
+    "get_default_store",
+    "log_progress",
+    "run_spec",
+    "set_default_store",
+    "use_store",
+]

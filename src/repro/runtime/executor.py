@@ -1,0 +1,139 @@
+"""Batch execution of RunSpecs: dedupe, cache, isolate, retry, resume.
+
+This is the one engine every harness entry point (CLI, figures, tables,
+claims, benchmarks) funnels through.  Guarantees:
+
+* **Dedupe before dispatch** — identical specs are simulated once, and
+  results fan back out to every requesting position.
+* **Store-backed resume** — with a :class:`~repro.runtime.store.RunStore`
+  attached, cached cells are served from disk and only missing (or
+  previously failed — failures are never stored) cells are simulated,
+  so an interrupted matrix sweep restarts where it left off.
+* **Fault isolation** — a failing cell yields a
+  :class:`~repro.runtime.spec.RunFailure` naming its spec instead of
+  killing the whole process pool.
+* **Optional retry** — transient failures can be retried per cell.
+* **Progress** — an optional callback sees one event per cell
+  (``"hit" | "run" | "fail"``); :func:`log_progress` prints them.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+
+from ..sim.stats import RunResult
+from .spec import RunFailure, RunSpec
+from .store import get_default_refresh, get_default_store
+
+__all__ = ["execute", "execute_spec", "run_spec", "log_progress"]
+
+
+def run_spec(spec: RunSpec, retries: int = 0) -> RunResult | RunFailure:
+    """Execute one spec, converting exceptions into :class:`RunFailure`."""
+    attempt = 0
+    while True:
+        try:
+            return spec.execute()
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            if attempt >= retries:
+                return RunFailure(spec, f"{type(exc).__name__}: {exc}",
+                                  traceback.format_exc())
+            attempt += 1
+
+
+def _pool_worker(payload: tuple) -> RunResult | RunFailure:
+    """Module-level so it pickles for :class:`ProcessPoolExecutor`."""
+    spec, retries = payload
+    return run_spec(spec, retries)
+
+
+def log_progress(event: str, spec: RunSpec, detail: str = "",
+                 stream=None) -> None:
+    """Default progress callback: one stderr line per cell."""
+    stream = stream or sys.stderr
+    tag = {"hit": "cached", "run": "ran", "fail": "FAILED"}.get(event, event)
+    line = f"[{tag:>6}] {spec.label()}"
+    if detail:
+        line += f" ({detail})"
+    print(line, file=stream)
+
+
+def execute(specs, *, store=None, refresh: bool | None = None,
+            parallel: bool = True, max_workers: int | None = None,
+            retries: int = 0, progress=None) -> dict:
+    """Run many specs; returns ``{spec: RunResult | RunFailure}``.
+
+    *store* defaults to the ambient store (``None`` disables caching);
+    *refresh* forces re-simulation of cached cells (results are still
+    written back).  ``parallel=False`` runs inline in deterministic
+    order — the path tests use.
+    """
+    specs = list(specs)
+    if store is None:
+        store = get_default_store()
+    if refresh is None:
+        refresh = get_default_refresh()
+
+    unique: list[RunSpec] = []
+    seen: set[RunSpec] = set()
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            unique.append(spec)
+
+    results: dict = {}
+    todo: list[RunSpec] = []
+    for spec in unique:
+        cached = None if (store is None or refresh) else store.get(spec)
+        if cached is not None:
+            results[spec] = cached
+            if progress:
+                progress("hit", spec)
+        else:
+            todo.append(spec)
+
+    if todo:
+        if parallel and len(todo) > 1:
+            workers = max_workers or min(len(todo), os.cpu_count() or 2)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = pool.map(_pool_worker,
+                                    [(spec, retries) for spec in todo])
+                pairs = list(zip(todo, outcomes))
+        else:
+            pairs = [(spec, run_spec(spec, retries)) for spec in todo]
+        for spec, outcome in pairs:
+            results[spec] = outcome
+            if isinstance(outcome, RunFailure):
+                if progress:
+                    progress("fail", spec, outcome.error)
+            else:
+                if store is not None:
+                    store.put(spec, outcome)
+                if progress:
+                    progress("run", spec)
+    return results
+
+
+def execute_spec(spec: RunSpec, *, store=None,
+                 refresh: bool | None = None) -> RunResult:
+    """Run (or fetch) one spec; exceptions propagate to the caller.
+
+    The single-cell path ``run_app`` and friends use: store-aware like
+    :func:`execute`, but a failure raises — callers asking for exactly
+    one result want the exception, not a wrapper.
+    """
+    if store is None:
+        store = get_default_store()
+    if refresh is None:
+        refresh = get_default_refresh()
+    if store is not None and not refresh:
+        cached = store.get(spec)
+        if cached is not None:
+            return cached
+    result = spec.execute()
+    if store is not None:
+        store.put(spec, result)
+    return result

@@ -1,0 +1,174 @@
+"""Canonical run descriptions.
+
+A :class:`RunSpec` pins down *one* cell of the evaluation matrix — app,
+architecture, memory pressure, workload scale, plus any policy/config
+overrides and a non-default scheduling quantum — as a frozen, hashable
+value.  It replaces the loose ``(app, arch, pressure, scale)`` tuples
+previously duplicated across ``experiment.py``, ``parallel.py``,
+``cli.py`` and the benchmarks, and it carries a *stable content hash*
+(:meth:`RunSpec.spec_hash`) that keys the on-disk result store.
+
+Hash stability rules
+--------------------
+* architecture names are canonicalised (``"as-coma"`` == ``"ASCOMA"``);
+* overrides are stored as sorted ``(key, value)`` tuples, so keyword
+  order never changes the hash;
+* the hash covers a ``version`` field (:data:`SPEC_VERSION`) — bump it
+  whenever simulator semantics change so that stale store artifacts
+  become unreachable rather than silently wrong.
+
+A failed execution is described by :class:`RunFailure`, which names the
+spec that failed so batch sweeps can report and resume precisely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..sim.stats import RunResult
+
+__all__ = ["SPEC_VERSION", "RunSpec", "RunFailure", "canonical_arch"]
+
+#: Content-hash schema version.  Bump on any change to simulator
+#: semantics (or to RunSpec's canonical form) that invalidates stored
+#: results; old artifacts then simply stop matching and are re-run.
+SPEC_VERSION = 1
+
+
+def canonical_arch(arch: str) -> str:
+    """Canonical architecture spelling used for hashing and display."""
+    return arch.upper().replace("-", "").replace("_", "")
+
+
+def _freeze(overrides) -> tuple:
+    """Normalise an overrides mapping/iterable to sorted item pairs."""
+    if not overrides:
+        return ()
+    items = overrides.items() if isinstance(overrides, dict) else overrides
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation cell, canonically described.
+
+    ``policy_overrides`` / ``config_overrides`` are sorted
+    ``(name, value)`` pairs of JSON-scalar values (construct with
+    :meth:`make` to pass plain dicts).  ``quantum=None`` means the
+    engine default.
+    """
+
+    app: str
+    arch: str
+    pressure: float
+    scale: float = 0.5
+    policy_overrides: tuple = ()
+    config_overrides: tuple = ()
+    quantum: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arch", canonical_arch(self.arch))
+        object.__setattr__(self, "policy_overrides",
+                           _freeze(self.policy_overrides))
+        object.__setattr__(self, "config_overrides",
+                           _freeze(self.config_overrides))
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def make(cls, app: str, arch: str, pressure: float, scale: float = 0.5,
+             policy_overrides: dict | None = None,
+             config_overrides: dict | None = None,
+             quantum: int | None = None) -> "RunSpec":
+        """Build a spec from plain dicts of overrides."""
+        return cls(app, arch, pressure, scale,
+                   _freeze(policy_overrides), _freeze(config_overrides),
+                   quantum)
+
+    @classmethod
+    def from_cell(cls, cell: tuple) -> "RunSpec":
+        """Adapt a legacy ``(app, arch, pressure, scale)`` tuple."""
+        app, arch, pressure, scale = cell
+        return cls(app, arch, pressure, scale)
+
+    def cell(self) -> tuple:
+        """The legacy tuple form (drops overrides and quantum)."""
+        return (self.app, self.arch, self.pressure, self.scale)
+
+    # -- serialisation / hashing ---------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "arch": self.arch,
+            "pressure": self.pressure,
+            "scale": self.scale,
+            "policy_overrides": [list(p) for p in self.policy_overrides],
+            "config_overrides": [list(p) for p in self.config_overrides],
+            "quantum": self.quantum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        return cls(data["app"], data["arch"], data["pressure"],
+                   data.get("scale", 0.5),
+                   tuple(tuple(p) for p in data.get("policy_overrides", ())),
+                   tuple(tuple(p) for p in data.get("config_overrides", ())),
+                   data.get("quantum"))
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON form the content hash is computed over."""
+        payload = self.to_dict()
+        payload["version"] = SPEC_VERSION
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """Stable 16-hex-digit content hash (store key)."""
+        digest = hashlib.sha256(self.canonical_json().encode())
+        return digest.hexdigest()[:16]
+
+    def label(self) -> str:
+        """Short human-readable form for logs and reports."""
+        extra = ""
+        if self.policy_overrides or self.config_overrides or self.quantum:
+            extra = "*"
+        return (f"{self.app}/{self.arch}@{self.pressure:.0%}"
+                f"(x{self.scale:g}){extra}")
+
+    # -- execution ------------------------------------------------------
+    def execute(self) -> RunResult:
+        """Run this cell's simulation (no caching — see the executor).
+
+        Imports are deferred so worker processes only pay for what they
+        use and so ``repro.harness`` can import this module freely.
+        """
+        from ..harness.experiment import get_workload, scaled_policy
+        from ..sim.config import SystemConfig
+        from ..sim.engine import simulate
+
+        workload = get_workload(self.app, self.scale)
+        cfg_kwargs = {"n_nodes": workload.n_nodes,
+                      "memory_pressure": self.pressure}
+        cfg_kwargs.update(dict(self.config_overrides))
+        config = SystemConfig(**cfg_kwargs)
+        policy = scaled_policy(self.arch, **dict(self.policy_overrides))
+        if self.quantum is not None:
+            return simulate(workload, policy, config, quantum=self.quantum)
+        return simulate(workload, policy, config)
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Outcome of a cell whose simulation raised: names the spec.
+
+    Batch sweeps return these in place of :class:`RunResult` so one bad
+    cell cannot kill the rest of the matrix; ``error`` is the exception
+    summary, ``traceback`` the formatted stack for diagnosis.
+    """
+
+    spec: RunSpec
+    error: str
+    traceback: str = field(default="", compare=False)
+
+    def label(self) -> str:
+        return f"{self.spec.label()}: {self.error}"

@@ -35,8 +35,7 @@ from ..kernel.vm import PageMode
 from .config import SystemConfig
 from .machine import Machine
 from .stats import RunResult
-from .trace import (EV_BARRIER, EV_COMPUTE, EV_LOCAL, EV_READ, EV_WRITE,
-                    WorkloadTraces)
+from .trace import EV_COMPUTE, EV_LOCAL, EV_WRITE, WorkloadTraces
 
 __all__ = ["Engine", "simulate"]
 

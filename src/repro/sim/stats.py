@@ -79,6 +79,14 @@ class NodeStats:
     def as_dict(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "NodeStats":
+        """Inverse of :meth:`as_dict`; unknown keys are rejected."""
+        stats = cls()
+        for key, value in data.items():
+            setattr(stats, key, value)  # non-slot keys raise AttributeError
+        return stats
+
     def merge(self, other: "NodeStats") -> None:
         for name in self.__slots__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
@@ -134,6 +142,28 @@ class RunResult:
         agg = self.aggregate()
         total = agg.total_cycles()
         return agg.K_OVERHD / total if total else 0.0
+
+    # -- serialisation ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible form; round-trips through :meth:`from_dict`.
+
+        The canonical result serialisation: ``harness.serialize`` and
+        the runtime result store both build on this pair.
+        """
+        return {
+            "architecture": self.architecture,
+            "workload": self.workload,
+            "pressure": self.pressure,
+            "nodes": [s.as_dict() for s in self.node_stats],
+            # `extra` holds only plain dict/int content by construction.
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        nodes = [NodeStats.from_dict(d) for d in data["nodes"]]
+        return cls(data["architecture"], data["workload"], data["pressure"],
+                   nodes, data.get("extra"))
 
     def summary(self) -> dict:
         agg = self.aggregate()

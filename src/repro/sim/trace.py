@@ -19,7 +19,6 @@ workloads can be cached on disk.
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass, field
 
 import numpy as np

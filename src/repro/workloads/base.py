@@ -23,7 +23,7 @@ consumes the resulting arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -215,7 +215,6 @@ class SyntheticGenerator:
                          rng: np.random.Generator) -> np.ndarray:
         """Own home pages touched in *sweep* (local traffic)."""
         spec = self.spec
-        lpp = self.amap.lines_per_page
         visits = max(1, spec.home_lines_per_sweep // spec.lines_per_visit)
         first = node * spec.home_pages_per_node
         return rng.integers(first, first + spec.home_pages_per_node,

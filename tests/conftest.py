@@ -11,6 +11,17 @@ from repro.sim.trace import TraceBuilder, WorkloadTraces
 from repro.workloads.base import SyntheticGenerator, WorkloadSpec
 
 
+@pytest.fixture(autouse=True)
+def isolated_store_dir(tmp_path, monkeypatch):
+    """Point the CLI's default result store at a per-test directory.
+
+    Keeps tests from writing into (or reading stale results out of)
+    the repo-level ``results/store`` cache.
+    """
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    return tmp_path / "store"
+
+
 @pytest.fixture
 def amap() -> AddressMap:
     return AddressMap()

@@ -1,4 +1,9 @@
-"""Tests for the CLI and the claims scorecard machinery."""
+"""Tests for the CLI and the claims scorecard machinery.
+
+The default result store is pointed at a per-test tmp directory by the
+autouse ``isolated_store_dir`` fixture (see conftest), so these tests
+never touch the repo-level ``results/store`` cache.
+"""
 
 import pytest
 
@@ -69,6 +74,105 @@ class TestCommands:
         assert main(["--scale", "0.2", "sweep", "fft"]) == 0
         out = capsys.readouterr().out
         assert "ASCOMA" in out and "SCOMA" in out
+
+    def test_sweep_unknown_app_fails_cleanly(self, capsys):
+        assert main(["--scale", "0.2", "sweep", "linpack"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_figure_unknown_app_fails_cleanly(self, capsys):
+        assert main(["--scale", "0.2", "figure", "linpack"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_hotpages_command(self, capsys):
+        assert main(["--scale", "0.1", "hotpages", "fft", "ascoma",
+                     "--pressure", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "page" in out.lower()
+
+    def test_claims_command(self, capsys, monkeypatch):
+        # The real matrix takes ~30s even at tiny scale; the scorecard
+        # pipeline is what the CLI owns, so stub the matrix run.
+        import repro.harness.claims as claims_mod
+        canned = [Claim("stub claim", "Section 5", "x", "x", True)]
+        monkeypatch.setattr(claims_mod, "validate_all",
+                            lambda scale: canned)
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 claims reproduced" in out
+
+
+class TestMatrixCommand:
+    def test_matrix_serial_subset(self, capsys, isolated_store_dir):
+        assert main(["--scale", "0.1", "matrix", "--apps", "fft",
+                     "--serial"]) == 0
+        captured = capsys.readouterr()
+        assert "13/13 cells completed" in captured.out
+        # every cell was simulated and stored
+        assert len(list(isolated_store_dir.glob("*.json"))) == 13
+        assert captured.err.count("[   ran]") == 13
+
+    def test_matrix_resumes_from_store(self, capsys):
+        assert main(["--scale", "0.1", "matrix", "--apps", "fft",
+                     "--serial"]) == 0
+        capsys.readouterr()
+        assert main(["--scale", "0.1", "matrix", "--apps", "fft",
+                     "--serial"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err.count("[cached]") == 13
+        assert "[   ran]" not in captured.err
+
+    def test_matrix_unknown_app_fails_cleanly(self, capsys):
+        assert main(["matrix", "--apps", "linpack"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+
+    def test_matrix_reports_failing_cell(self, capsys, monkeypatch):
+        from repro.runtime import RunSpec
+        real = RunSpec.execute
+
+        def sabotaged(spec):
+            if spec.arch == "SCOMA":
+                raise RuntimeError("injected failure")
+            return real(spec)
+
+        monkeypatch.setattr(RunSpec, "execute", sabotaged)
+        assert main(["--scale", "0.1", "matrix", "--apps", "fft",
+                     "--serial"]) == 1
+        captured = capsys.readouterr()
+        assert "10/13 cells completed" in captured.out
+        assert "fft/SCOMA" in captured.out and "injected failure" in captured.out
+
+    def test_no_cache_leaves_store_empty(self, capsys, isolated_store_dir):
+        assert main(["--scale", "0.2", "--no-cache", "run", "fft",
+                     "ascoma", "--pressure", "0.5"]) == 0
+        assert not isolated_store_dir.exists()
+
+
+class TestStoreCommand:
+    def test_info_empty(self, capsys, isolated_store_dir):
+        assert main(["store", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+        assert str(isolated_store_dir) in out
+
+    def test_list_and_clear_after_runs(self, capsys):
+        assert main(["--scale", "0.2", "run", "fft", "ascoma",
+                     "--pressure", "0.5"]) == 0
+        capsys.readouterr()
+        assert main(["store", "list"]) == 0
+        assert "fft/ASCOMA@0.5" in capsys.readouterr().out
+        assert main(["store", "clear"]) == 0
+        assert "removed 1 artifact(s)" in capsys.readouterr().out
+        assert main(["store", "list"]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_cached_rerun_hits_store(self, capsys):
+        args = ["--scale", "0.2", "run", "fft", "ascoma",
+                "--pressure", "0.5"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert second == first  # identical output, served from the store
 
 
 class TestScorecard:

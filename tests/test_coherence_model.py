@@ -23,7 +23,6 @@ from repro.harness.experiment import scaled_policy
 from repro.interconnect.network import Network
 from repro.interconnect.topology import SwitchTopology
 from repro.mem.dram import BankedMemory
-from repro.kernel.vm import PageMode
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine
 from repro.workloads import generate_workload, migratory, synthetic

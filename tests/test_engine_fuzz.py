@@ -13,7 +13,6 @@ for *any* input:
 * the coherence reachability audit holds at end of run.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,7 +1,6 @@
 """Property-based tests over the workload generation framework."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mem.address import AddressMap

@@ -140,7 +140,7 @@ class TestReportHelpers:
     def test_format_table_alignment(self):
         out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
         lines = out.splitlines()
-        assert len({len(l) for l in lines}) <= 2  # header sep may differ
+        assert len({len(row) for row in lines}) <= 2  # header sep may differ
 
     def test_format_stacked_bars(self):
         out = format_stacked_bars(

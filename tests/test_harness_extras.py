@@ -6,9 +6,9 @@ import csv
 import pytest
 
 from repro.coherence.messages import MsgKind
-from repro.core import CCNUMAPolicy, make_policy
+from repro.core import CCNUMAPolicy
 from repro.harness import export_csv
-from repro.harness.experiment import run_app, scaled_policy
+from repro.harness.experiment import run_app
 from repro.sim.config import SystemConfig
 from repro.sim.engine import DEFAULT_QUANTUM, Engine, simulate
 from repro.sim.trace import TraceBuilder, WorkloadTraces

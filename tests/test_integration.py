@@ -8,7 +8,7 @@ these, it broke the result the paper is about.
 
 import pytest
 
-from repro.harness.experiment import get_workload, run_app
+from repro.harness.experiment import run_app
 
 SCALE = 0.35
 

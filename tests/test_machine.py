@@ -41,7 +41,6 @@ class TestAssembly:
 class TestCrossNodeWiring:
     def test_protocol_invalidation_reaches_victim_node(self):
         m = make_machine()
-        amap = m.amap
         chunk = 0
         line = 0
         m.nodes[1].l1.fill(line)

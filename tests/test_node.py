@@ -33,7 +33,7 @@ class TestInvalidation:
         node.owned.add(chunk)
 
         node.invalidate_chunk(chunk)
-        assert all(not node.l1.contains(l) for l in amap.lines_of_chunk(chunk))
+        assert all(not node.l1.contains(line) for line in amap.lines_of_chunk(chunk))
         assert not node.rac.contains(chunk)
         assert chunk not in node.owned
         assert not node.page_table.chunk_valid(page, 0)

@@ -1,6 +1,5 @@
 """Unit tests for the pageout daemon's second-chance scan and thrash signal."""
 
-import pytest
 
 from repro.kernel.costs import KernelCosts
 from repro.kernel.freelist import FreePagePool

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.harness.experiment import run_app
 from repro.harness.parallel import run_cell, run_cells, run_matrix_parallel

@@ -2,8 +2,7 @@
 
 from collections import Counter
 
-import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.coherence.directory import Directory
 from repro.kernel.allocation import HomeAllocator

@@ -1,6 +1,5 @@
 """Unit tests for the coherence protocol's latency composition."""
 
-import pytest
 
 from repro.coherence.directory import Directory
 from repro.coherence.protocol import CoherenceProtocol

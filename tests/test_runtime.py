@@ -1,0 +1,247 @@
+"""Tests for the runtime layer: RunSpec hashing, RunStore, executor."""
+
+import json
+
+import pytest
+
+from repro.harness.experiment import run_app
+from repro.harness.parallel import run_cells
+from repro.runtime import (RunFailure, RunSpec, RunStore, execute,
+                           execute_spec, get_default_store, run_spec,
+                           use_store)
+from repro.runtime import store as store_mod
+from repro.sim.stats import RunResult
+
+SCALE = 0.1
+SPEC = RunSpec("fft", "ASCOMA", 0.5, SCALE)
+
+
+@pytest.fixture
+def exec_counter(monkeypatch):
+    """Count actual simulation executions (store hits don't execute)."""
+    calls = []
+    real = RunSpec.execute
+
+    def counting(self):
+        calls.append(self)
+        return real(self)
+
+    monkeypatch.setattr(RunSpec, "execute", counting)
+    return calls
+
+
+class TestRunSpec:
+    def test_arch_canonicalised(self):
+        assert RunSpec("fft", "as-coma", 0.5) == RunSpec("fft", "ASCOMA", 0.5)
+        assert (RunSpec("fft", "ccnuma_mig", 0.5).spec_hash()
+                == RunSpec("fft", "CCNUMAMIG", 0.5).spec_hash())
+
+    def test_override_order_does_not_change_hash(self):
+        a = RunSpec.make("em3d", "ASCOMA", 0.7,
+                         policy_overrides={"threshold": 8, "increment": 4})
+        b = RunSpec.make("em3d", "ASCOMA", 0.7,
+                         policy_overrides={"increment": 4, "threshold": 8})
+        assert a == b and a.spec_hash() == b.spec_hash()
+
+    def test_distinct_specs_distinct_hashes(self):
+        seen = {RunSpec("fft", "ASCOMA", p, s).spec_hash()
+                for p in (0.1, 0.5, 0.9) for s in (0.1, 0.5)}
+        assert len(seen) == 6
+
+    def test_dict_roundtrip(self):
+        spec = RunSpec.make("lu", "vcnuma", 0.9, 0.25,
+                            policy_overrides={"threshold": 8},
+                            config_overrides={"l1_ways": 2}, quantum=500)
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+        json.dumps(spec.to_dict())  # JSON-compatible
+
+    def test_cell_roundtrip(self):
+        cell = ("fft", "SCOMA", 0.9, 0.2)
+        assert RunSpec.from_cell(cell).cell() == cell
+
+    def test_label_names_the_cell(self):
+        assert "fft/ASCOMA@50%" in SPEC.label()
+
+    def test_execute_applies_config_overrides(self):
+        base = RunSpec("fft", "CCNUMA", 0.5, SCALE).execute()
+        quiet = RunSpec.make("fft", "CCNUMA", 0.5, SCALE,
+                             config_overrides={"model_contention": False})
+        result = quiet.execute()
+        # contention-free run is strictly faster than the contended one
+        assert result.execution_time() < base.execution_time()
+
+
+class TestRunStore:
+    def test_empty_store_misses(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.get(SPEC) is None
+        assert SPEC not in store
+        assert store.misses == 1
+
+    def test_put_get_preserves_everything(self, tmp_path):
+        result = SPEC.execute()
+        result.extra["marker"] = {"nested": 7}
+        store = RunStore(tmp_path)
+        store.put(SPEC, result)
+        again = store.get(SPEC)
+        assert SPEC in store
+        assert again.architecture == result.architecture
+        assert again.workload == result.workload
+        assert again.pressure == result.pressure
+        assert again.extra == result.extra
+        # every NodeStats slot survives, node by node
+        assert [s.as_dict() for s in again.node_stats] \
+            == [s.as_dict() for s in result.node_stats]
+        assert again.execution_time() == result.execution_time()
+
+    def test_store_version_mismatch_is_a_miss(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path)
+        store.put(SPEC, SPEC.execute())
+        monkeypatch.setattr(store_mod, "STORE_VERSION", 999)
+        assert store.get(SPEC) is None
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        store = RunStore(tmp_path)
+        path = store.path_for(SPEC)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        assert store.get(SPEC) is None
+
+    def test_foreign_spec_in_artifact_is_a_miss(self, tmp_path):
+        store = RunStore(tmp_path)
+        path = store.put(SPEC, SPEC.execute())
+        payload = json.loads(path.read_text())
+        payload["spec"]["pressure"] = 0.9  # simulated hash collision
+        path.write_text(json.dumps(payload))
+        assert store.get(SPEC) is None
+
+    def test_entries_and_clear(self, tmp_path):
+        store = RunStore(tmp_path)
+        result = SPEC.execute()
+        store.put(SPEC, result)
+        store.put(RunSpec("fft", "CCNUMA", 0.5, SCALE), result)
+        entries = store.entries()
+        assert len(entries) == 2
+        assert {e["spec"]["arch"] for e in entries} == {"ASCOMA", "CCNUMA"}
+        assert store.clear() == 2
+        assert store.entries() == []
+
+    def test_use_store_restores_previous(self, tmp_path):
+        outer = RunStore(tmp_path / "a")
+        inner = RunStore(tmp_path / "b")
+        with use_store(outer):
+            with use_store(inner):
+                assert get_default_store() is inner
+            assert get_default_store() is outer
+        assert get_default_store() is None
+
+
+class TestCaching:
+    def test_cache_round_trip_end_to_end(self, tmp_path, exec_counter):
+        """Acceptance: 2nd run of the same spec performs zero simulations
+        and returns an identical RunResult."""
+        store = RunStore(tmp_path)
+        first = execute_spec(SPEC, store=store)
+        assert len(exec_counter) == 1
+        second = execute_spec(SPEC, store=store)
+        assert len(exec_counter) == 1  # store hit: no new simulation
+        assert second.to_dict() == first.to_dict()
+        assert [s.as_dict() for s in second.node_stats] \
+            == [s.as_dict() for s in first.node_stats]
+
+    def test_refresh_resimulates_and_restores(self, tmp_path, exec_counter):
+        store = RunStore(tmp_path)
+        execute_spec(SPEC, store=store)
+        execute_spec(SPEC, store=store, refresh=True)
+        assert len(exec_counter) == 2
+        assert store.writes == 2
+        execute_spec(SPEC, store=store)  # refreshed artifact still serves
+        assert len(exec_counter) == 2
+
+    def test_run_app_uses_ambient_store(self, tmp_path, exec_counter):
+        store = RunStore(tmp_path)
+        with use_store(store):
+            first = run_app("fft", "ascoma", 0.5, scale=SCALE)
+            second = run_app("fft", "AS-COMA", 0.5, scale=SCALE)
+        assert len(exec_counter) == 1
+        assert second.to_dict() == first.to_dict()
+
+    def test_no_store_means_no_caching(self, exec_counter):
+        run_app("fft", "ccnuma", 0.5, scale=SCALE)
+        run_app("fft", "ccnuma", 0.5, scale=SCALE)
+        assert len(exec_counter) == 2
+
+
+class TestFaultIsolation:
+    BAD = RunSpec("fft", "BOGUS", 0.5, SCALE)
+    GOOD = [RunSpec("fft", "CCNUMA", 0.5, SCALE),
+            RunSpec("fft", "SCOMA", 0.5, SCALE)]
+
+    def test_failing_cell_does_not_kill_the_sweep(self, tmp_path):
+        """Acceptance: one bad cell -> others complete, failure names it."""
+        store = RunStore(tmp_path)
+        out = execute([self.GOOD[0], self.BAD, self.GOOD[1]],
+                      store=store, parallel=False)
+        failure = out[self.BAD]
+        assert isinstance(failure, RunFailure)
+        assert failure.spec == self.BAD
+        assert "BOGUS" in failure.error
+        assert "Traceback" in failure.traceback
+        for spec in self.GOOD:
+            assert isinstance(out[spec], RunResult)
+
+    def test_rerun_simulates_only_failed_and_missing(self, tmp_path,
+                                                     exec_counter):
+        """Acceptance: resume touches only cells without stored results."""
+        store = RunStore(tmp_path)
+        execute([self.GOOD[0], self.BAD, self.GOOD[1]],
+                store=store, parallel=False)
+        executed_first = list(exec_counter)
+        assert len(executed_first) == 3
+        out = execute([self.GOOD[0], self.BAD, self.GOOD[1]],
+                      store=store, parallel=False)
+        # only the (still-failing) bad cell was re-attempted
+        assert exec_counter[len(executed_first):] == [self.BAD]
+        assert isinstance(out[self.BAD], RunFailure)
+        for spec in self.GOOD:
+            assert isinstance(out[spec], RunResult)
+
+    def test_pool_path_isolates_failures_too(self):
+        out = execute([self.GOOD[0], self.BAD, self.GOOD[1]],
+                      parallel=True, max_workers=2)
+        assert isinstance(out[self.BAD], RunFailure)
+        assert all(isinstance(out[s], RunResult) for s in self.GOOD)
+
+    def test_retry_recovers_transient_failures(self, monkeypatch):
+        attempts = []
+        real = RunSpec.execute
+
+        def flaky(spec):
+            attempts.append(spec)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return real(spec)
+
+        monkeypatch.setattr(RunSpec, "execute", flaky)
+        assert isinstance(run_spec(self.GOOD[0], retries=0), RunFailure)
+        attempts.clear()
+        out = run_spec(self.GOOD[0], retries=1)
+        assert isinstance(out, RunResult)
+        assert len(attempts) == 2
+
+
+class TestDedupe:
+    def test_duplicate_cells_simulated_once(self, exec_counter):
+        c1 = ("fft", "ascoma", 0.5, SCALE)
+        c2 = ("fft", "AS-COMA", 0.5, SCALE)  # same cell, spelled differently
+        out = run_cells([c1, c2, c1], parallel=False)
+        assert len(exec_counter) == 1
+        assert out[c1].to_dict() == out[c2].to_dict()
+
+    def test_execute_fans_duplicates_back_out(self, exec_counter):
+        out = execute([SPEC, RunSpec("fft", "as-coma", 0.5, SCALE)],
+                      parallel=False)
+        assert len(exec_counter) == 1
+        assert len(out) == 1  # canonically the same spec

@@ -88,7 +88,7 @@ class TestFlushPage:
             cache.fill(line)
         flushed = cache.flush_page(3)
         assert flushed == len(lines)
-        assert not any(cache.contains(l) for l in lines)
+        assert not any(cache.contains(line) for line in lines)
 
     def test_flush_keeps_other_pages(self, cache):
         amap = AddressMap()

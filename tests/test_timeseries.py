@@ -1,6 +1,5 @@
 """Tests for time-series sampling and backoff trajectory regressions."""
 
-import pytest
 
 from repro.harness.experiment import scaled_policy
 from repro.sim.config import SystemConfig

@@ -1,6 +1,5 @@
 """Tests for the workload trace-analysis module."""
 
-import numpy as np
 import pytest
 
 from repro.sim.trace import TraceBuilder, WorkloadTraces

@@ -7,7 +7,7 @@ from repro.mem.address import AddressMap
 from repro.sim.trace import EV_BARRIER, EV_READ, EV_WRITE
 from repro.workloads import (WORKLOADS, barnes, em3d, fft, generate_workload,
                              lu, ocean, radix, synthetic)
-from repro.workloads.base import SyntheticGenerator, WorkloadSpec, emit_visits
+from repro.workloads.base import WorkloadSpec, emit_visits
 from repro.sim.trace import TraceBuilder
 
 LPP = AddressMap().lines_per_page
