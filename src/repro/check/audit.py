@@ -1,0 +1,31 @@
+"""Post-run machine audit: every cached copy is invalidation-reachable.
+
+Historically this lived in ``tests/test_coherence_model.py``; it is now
+a thin assertion wrapper over the structural reachability sweep so both
+the test suite and the online checker share one implementation.
+"""
+
+from __future__ import annotations
+
+from .invariants import Violation, check_cache_reachability
+
+__all__ = ["audit_machine", "collect_audit_violations"]
+
+
+def collect_audit_violations(machine) -> list[Violation]:
+    """Reachability violations of *machine*'s current state."""
+    return check_cache_reachability(machine)
+
+
+def audit_machine(engine) -> None:
+    """Assert that every cached copy is reachable by invalidations.
+
+    Accepts an :class:`~repro.sim.engine.Engine` (the historical test
+    helper signature) or a bare :class:`~repro.sim.machine.Machine`.
+    """
+    machine = getattr(engine, "machine", engine)
+    violations = collect_audit_violations(machine)
+    if violations:
+        raise AssertionError(
+            "machine audit failed:\n"
+            + "\n".join(f"  {v}" for v in violations))

@@ -1,0 +1,231 @@
+"""Structural invariants over a running :class:`~repro.sim.machine.Machine`.
+
+Each check sweeps one family of simulator state and returns the list of
+:class:`Violation` records it finds -- empty means the invariant holds.
+The checks run at *stable* points only (operation-completion events, a
+barrier release, or the end of the run): publish sites fire after their
+state mutation completes, so mid-operation transients (a frame taken
+before its page is mapped, a copyset mid-invalidation) are never
+observed.
+
+The invariant families, and the paper sections they guard:
+
+* **directory-swmr** -- single-writer/multiple-reader: a chunk with a
+  dirty owner is cached by exactly that owner (Section 2.1's
+  write-invalidate protocol).
+* **cache-reachability** -- every locally cached copy (L1 line, RAC
+  entry, S-COMA valid chunk, write permission) is reachable through the
+  directory's copysets, so invalidations can always find it.
+* **frame-accounting** -- each node's free-pool ledger balances and
+  every in-use page-cache frame backs exactly one S-COMA page
+  (Section 3's free-pool machinery).
+* **rac-exclusivity** -- the RAC only holds data of CC-NUMA-mode pages:
+  S-COMA pages are backed by page-cache frames and home pages by local
+  memory, so RAC residency would be unreachable dead state (Section 4.1).
+* **page-table** -- mode/valid-bits/clock agreement and home-mapping
+  consistency with the global allocator (catches migration bugs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kernel.vm import PageMode
+
+__all__ = [
+    "Violation",
+    "STRUCTURAL_CHECKS",
+    "check_directory_swmr",
+    "check_cache_reachability",
+    "check_frame_accounting",
+    "check_rac_exclusivity",
+    "check_page_table",
+]
+
+
+@dataclass
+class Violation:
+    """One invariant violation, with simulator context for replay."""
+
+    invariant: str
+    message: str
+    node: int = -1
+    page: int = -1
+    clock: int = -1
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        where = []
+        if self.node >= 0:
+            where.append(f"node {self.node}")
+        if self.page >= 0:
+            where.append(f"page {self.page}")
+        if self.clock >= 0:
+            where.append(f"clock {self.clock}")
+        ctx = f" [{', '.join(where)}]" if where else ""
+        return f"{self.invariant}{ctx}: {self.message}"
+
+    def as_dict(self) -> dict:
+        return {"invariant": self.invariant, "message": self.message,
+                "node": self.node, "page": self.page, "clock": self.clock,
+                "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Violation":
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+def check_directory_swmr(machine) -> list[Violation]:
+    """A dirty-owned chunk is cached by exactly its owner."""
+    directory = machine.directory
+    amap = machine.amap
+    out = []
+    for chunk, owner in directory.owner.items():
+        cs = directory.copyset.get(chunk, 0)
+        if cs != 1 << owner:
+            out.append(Violation(
+                "directory-swmr",
+                f"chunk {chunk} owned by node {owner} but copyset is"
+                f" {cs:#x} (expected {1 << owner:#x})",
+                node=owner, page=amap.page_of_chunk(chunk),
+                detail={"chunk": chunk, "copyset": cs}))
+    return out
+
+
+def check_cache_reachability(machine) -> list[Violation]:
+    """Every cached copy must be reachable by directory invalidations."""
+    directory = machine.directory
+    amap = machine.amap
+    out = []
+    for node in machine.nodes:
+        # L1 lines.
+        for line in node.l1.resident_lines():
+            chunk = line >> amap.chunk_shift
+            if not directory.is_cached_by(chunk, node.id):
+                out.append(Violation(
+                    "cache-reachability",
+                    f"L1 holds line {line} (chunk {chunk}) without"
+                    " copyset membership",
+                    node=node.id, page=line >> amap.line_shift,
+                    detail={"structure": "l1", "chunk": chunk, "line": line}))
+        # RAC entries (chunks, or victim lines in victim-fill mode).
+        for entry in node.rac.resident_entries():
+            chunk = entry >> amap.chunk_shift if node.rac_victim else entry
+            if not directory.is_cached_by(chunk, node.id):
+                out.append(Violation(
+                    "cache-reachability",
+                    f"RAC holds chunk {chunk} without copyset membership",
+                    node=node.id, page=amap.page_of_chunk(chunk),
+                    detail={"structure": "rac", "chunk": chunk}))
+        # S-COMA valid bits.
+        for page, mask in node.page_table.scoma_valid.items():
+            first = amap.first_chunk_of_page(page)
+            for cip in range(amap.chunks_per_page):
+                if mask >> cip & 1 and not directory.is_cached_by(
+                        first + cip, node.id):
+                    out.append(Violation(
+                        "cache-reachability",
+                        f"S-COMA valid bit set for chunk {first + cip}"
+                        " without copyset membership",
+                        node=node.id, page=page,
+                        detail={"structure": "scoma", "chunk": first + cip}))
+        # Write permission.
+        for chunk in node.owned:
+            if directory.owner.get(chunk) != node.id:
+                out.append(Violation(
+                    "cache-reachability",
+                    f"node holds write permission on chunk {chunk} but"
+                    f" directory owner is {directory.owner.get(chunk, -1)}",
+                    node=node.id, page=amap.page_of_chunk(chunk),
+                    detail={"structure": "owned", "chunk": chunk}))
+    return out
+
+
+def check_frame_accounting(machine) -> list[Violation]:
+    """Free-pool ledger balance and frame <-> S-COMA page agreement."""
+    out = []
+    for node in machine.nodes:
+        pool = node.pool
+        if not pool.ledger_consistent():
+            out.append(Violation(
+                "frame-accounting",
+                f"pool ledger out of balance: free={pool.free}"
+                f" capacity={pool.capacity} allocations={pool.allocations}"
+                f" releases={pool.releases}",
+                node=node.id))
+        scoma_pages = node.page_table.scoma_page_count()
+        if pool.in_use != scoma_pages:
+            out.append(Violation(
+                "frame-accounting",
+                f"{pool.in_use} frames in use but {scoma_pages} S-COMA"
+                " pages mapped",
+                node=node.id,
+                detail={"in_use": pool.in_use, "scoma_pages": scoma_pages}))
+    return out
+
+
+def check_rac_exclusivity(machine) -> list[Violation]:
+    """RAC entries belong only to CC-NUMA-mode pages."""
+    amap = machine.amap
+    out = []
+    for node in machine.nodes:
+        for entry in node.rac.resident_entries():
+            page = (entry >> amap.line_shift if node.rac_victim
+                    else amap.page_of_chunk(entry))
+            mode = node.page_table.mode_of(page)
+            if mode != PageMode.CCNUMA:
+                out.append(Violation(
+                    "rac-exclusivity",
+                    f"RAC holds data of page {page} which is in"
+                    f" {PageMode(mode).name} mode",
+                    node=node.id, page=page,
+                    detail={"entry": entry, "mode": int(mode)}))
+    return out
+
+
+def check_page_table(machine) -> list[Violation]:
+    """Mode/valid/clock agreement + home mapping vs the allocator."""
+    allocator = machine.allocator
+    out = []
+    for node in machine.nodes:
+        pt = node.page_table
+        scoma_pages = {p for p, m in pt.mode.items() if m == PageMode.SCOMA}
+        valid_pages = set(pt.scoma_valid)
+        if valid_pages != scoma_pages:
+            out.append(Violation(
+                "page-table",
+                f"S-COMA valid-bit pages {sorted(valid_pages)} disagree"
+                f" with S-COMA-mode pages {sorted(scoma_pages)}",
+                node=node.id))
+        clock_pages = list(pt.scoma_clock)
+        if (len(clock_pages) != len(set(clock_pages))
+                or set(clock_pages) != scoma_pages):
+            out.append(Violation(
+                "page-table",
+                f"second-chance clock {clock_pages} disagrees with"
+                f" S-COMA-mode pages {sorted(scoma_pages)}",
+                node=node.id))
+        for page, mode in pt.mode.items():
+            home = allocator.home[page]
+            if mode == PageMode.HOME and home != node.id:
+                out.append(Violation(
+                    "page-table",
+                    f"page mapped HOME but allocator home is {home}",
+                    node=node.id, page=page))
+            elif mode in (PageMode.SCOMA, PageMode.CCNUMA) and home == node.id:
+                out.append(Violation(
+                    "page-table",
+                    f"page mapped {PageMode(mode).name} on its own home node",
+                    node=node.id, page=page))
+    return out
+
+
+#: All structural sweeps, in reporting order.
+STRUCTURAL_CHECKS = (
+    check_directory_swmr,
+    check_cache_reachability,
+    check_frame_accounting,
+    check_rac_exclusivity,
+    check_page_table,
+)

@@ -61,6 +61,9 @@ class ASCOMAPolicy(ArchitecturePolicy):
 
     name = "ASCOMA"
     uses_page_cache = True
+    initial_modes = frozenset({PageMode.SCOMA, PageMode.CCNUMA})
+    supports_relocation = True
+    # AS-COMA never force-evicts: hints are dropped when the pool is dry.
 
     def __init__(self, threshold: int = DEFAULT_RELOCATION_THRESHOLD,
                  increment: int = DEFAULT_THRESHOLD_INCREMENT,
@@ -77,6 +80,10 @@ class ASCOMAPolicy(ArchitecturePolicy):
         self._disable_after = disable_after
         self.scoma_first = scoma_first
         self.adaptive = adaptive
+        #: instance-level: ablations with adaptive=False have no backoff.
+        self.daemon_backoff = adaptive
+        if not scoma_first:
+            self.initial_modes = frozenset({PageMode.CCNUMA})
 
     def make_node_state(self) -> ASCOMANodeState:
         return ASCOMANodeState(self._threshold, self._increment,

@@ -35,6 +35,7 @@ class MigratingCCNUMAPolicy(ArchitecturePolicy):
 
     name = "CCNUMA-MIG"
     uses_page_cache = False
+    supports_migration = True
 
     def __init__(self, threshold: int = DEFAULT_RELOCATION_THRESHOLD) -> None:
         if threshold <= 0:

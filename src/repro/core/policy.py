@@ -23,6 +23,7 @@ Policies are stateless singletons; all mutable per-node state lives in a
 from __future__ import annotations
 
 from ..kernel.pageout import DaemonRunResult, PageoutDaemon
+from ..kernel.vm import PageMode
 
 __all__ = ["ArchitecturePolicy", "PolicyNodeState", "RelocationDecision"]
 
@@ -72,6 +73,22 @@ class ArchitecturePolicy:
     #: Pure S-COMA *must* back every remote page with a local frame, so
     #: it force-evicts at fault time and needs a non-empty page cache.
     mandatory_page_cache: bool = False
+
+    # -- declarative protocol surface (consumed by repro.check) ---------
+    #: Page modes a first touch of a *remote* page may legally yield.
+    #: (HOME is always legal for locally-homed pages and is not listed.)
+    initial_modes: frozenset = frozenset({PageMode.CCNUMA})
+    #: May a CC-NUMA page be upgraded to S-COMA mode after a hint?
+    supports_relocation: bool = False
+    #: May a relocation hint move the page's *home* instead?
+    supports_migration: bool = False
+    #: May the architecture evict an S-COMA page outside a daemon run
+    #: (at fault or relocation time, possibly sacrificing a hot page)?
+    allows_forced_eviction: bool = False
+    #: Does the pageout daemon drive a threshold backoff whose
+    #: monotonicity holds between consecutive runs?  (AS-COMA's software
+    #: backoff; VC-NUMA adjusts at *eviction* time, so it is excluded.)
+    daemon_backoff: bool = False
 
     def make_node_state(self) -> PolicyNodeState:
         return PolicyNodeState(threshold=0)

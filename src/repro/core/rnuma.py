@@ -35,6 +35,8 @@ class RNUMAPolicy(ArchitecturePolicy):
 
     name = "RNUMA"
     uses_page_cache = True
+    supports_relocation = True
+    allows_forced_eviction = True  # relocates even over a hot victim
 
     def __init__(self, threshold: int = DEFAULT_RELOCATION_THRESHOLD) -> None:
         if threshold <= 0:

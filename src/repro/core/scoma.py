@@ -34,6 +34,8 @@ class SCOMAPolicy(ArchitecturePolicy):
     uses_page_cache = True
     evict_to_ccnuma = False
     mandatory_page_cache = True
+    initial_modes = frozenset({PageMode.SCOMA})
+    allows_forced_eviction = True  # fault-time eviction when the pool is dry
 
     def make_node_state(self) -> PolicyNodeState:
         return PolicyNodeState(threshold=0)

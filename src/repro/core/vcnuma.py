@@ -56,6 +56,8 @@ class VCNUMAPolicy(ArchitecturePolicy):
 
     name = "VCNUMA"
     uses_page_cache = True
+    supports_relocation = True
+    allows_forced_eviction = True  # relocation is unconditional, like R-NUMA
 
     def __init__(self, threshold: int = DEFAULT_RELOCATION_THRESHOLD,
                  break_even: int = DEFAULT_BREAK_EVEN,

@@ -8,6 +8,7 @@ Commands
 ``sweep APP``          pressure sweep for one app across architectures
 ``matrix``             the whole evaluation matrix, parallel + resumable
 ``claims``             run the paper-claim scorecard
+``check APP ARCH``     one run under the online invariant checker
 ``hotpages APP ARCH``  hot-page report after one run
 ``analyze APP``        workload characterisation (tracestats)
 ``store ACTION``       inspect/clear the result store (info|list|clear)
@@ -61,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("app")
     p.add_argument("arch")
     p.add_argument("--pressure", type=float, default=0.7)
+    p.add_argument("--check", action="store_true",
+                   help="attach the online invariant checker"
+                        " (bypasses the result store)")
 
     p = sub.add_parser("sweep", help="pressure sweep for one app")
     p.add_argument("app")
@@ -75,8 +79,31 @@ def build_parser() -> argparse.ArgumentParser:
                         " at the CPU count)")
     p.add_argument("--retries", type=int, default=0,
                    help="per-cell retry attempts on failure")
+    p.add_argument("--check", action="store_true",
+                   help="attach the online invariant checker to every"
+                        " cell (bypasses the result store)")
 
     sub.add_parser("claims", help="paper-claim scorecard")
+
+    p = sub.add_parser("check",
+                       help="run one simulation under the online invariant"
+                            " checker; nonzero exit on violations")
+    p.add_argument("app")
+    p.add_argument("arch")
+    p.add_argument("--pressure", type=float, default=0.7)
+    p.add_argument("--granularity", choices=("event", "barrier"),
+                   default="event",
+                   help="structural-sweep cadence (default: event, the"
+                        " precise-but-slow mode)")
+    p.add_argument("--bundle-dir", default=None,
+                   help="write a failure-replay bundle here on violation")
+    p.add_argument("--minimise", action="store_true",
+                   help="delta-debug the failing trace to a minimal one"
+                        " (requires --bundle-dir)")
+    p.add_argument("--inject-skip-invalidate", type=int, default=-1,
+                   metavar="NODE",
+                   help="deliberately drop invalidations to NODE (checker"
+                        " self-test; see SystemConfig.debug_skip_invalidate_node)")
 
     p = sub.add_parser("hotpages", help="hot-page report after one run")
     p.add_argument("app")
@@ -110,7 +137,8 @@ def _cmd_figure(args) -> str:
 
 def _cmd_run(args) -> str:
     from .experiment import run_app
-    result = run_app(args.app, args.arch, args.pressure, scale=args.scale)
+    result = run_app(args.app, args.arch, args.pressure, scale=args.scale,
+                     check=args.check)
     agg = result.aggregate()
     lines = [f"{args.app} / {result.architecture} at "
              f"{args.pressure:.0%} memory pressure:",
@@ -122,6 +150,9 @@ def _cmd_run(args) -> str:
              f"  page mgmt      : {agg.relocations} relocations,"
              f" {agg.evictions} evictions, {agg.migrations} migrations,"
              f" {agg.daemon_runs} daemon runs"]
+    if result.invariant_violations is not None:
+        lines.append(f"  invariants     : {result.invariant_violations}"
+                     " violation(s)")
     return "\n".join(lines)
 
 
@@ -161,23 +192,72 @@ def _cmd_matrix(args):
     specs = matrix_specs(apps, args.scale)
     outcomes = execute(specs, parallel=not args.serial,
                        max_workers=args.workers, retries=args.retries,
-                       progress=log_progress)
+                       progress=log_progress, check=args.check)
     failures = [o for o in outcomes.values() if isinstance(o, RunFailure)]
+    violations = 0
     per_app: dict = {}
     for spec, outcome in outcomes.items():
         ok, bad = per_app.setdefault(spec.app, [0, 0])
         per_app[spec.app] = ([ok, bad + 1] if isinstance(outcome, RunFailure)
                              else [ok + 1, bad])
+        if not isinstance(outcome, RunFailure):
+            violations += outcome.invariant_violations or 0
     rows = [[app, ok, bad] for app, (ok, bad) in sorted(per_app.items())]
     text = format_table(["App", "Completed", "Failed"], rows,
                         title=f"Evaluation matrix at scale {args.scale:g}:"
                               f" {len(specs) - len(failures)}/{len(specs)}"
                               " cells completed")
+    if args.check:
+        text += (f"\n\ninvariant checking: {violations} violation(s) across"
+                 f" {len(specs) - len(failures)} checked cell(s)")
     if failures:
         text += "\n\nfailed cells (re-run to resume just these):"
         for failure in failures:
             text += f"\n  {failure.label()}"
-    return text, (1 if failures else 0)
+    return text, (1 if failures or violations else 0)
+
+
+def _cmd_check(args):
+    from ..check import InvariantChecker, ReproBundle, shrink_bundle
+    from ..sim.config import SystemConfig
+    from ..sim.engine import Engine
+    from ..workloads import generate_workload
+    from .experiment import SCALED_POLICY_KWARGS, scaled_policy
+    from ..runtime import canonical_arch
+    wl = generate_workload(args.app, scale=args.scale)
+    cfg = SystemConfig(
+        n_nodes=wl.n_nodes, memory_pressure=args.pressure,
+        debug_skip_invalidate_node=args.inject_skip_invalidate)
+    engine = Engine(wl, scaled_policy(args.arch), cfg)
+    checker = InvariantChecker.attach(engine, granularity=args.granularity)
+    engine.run()
+    lines = [f"{args.app} / {engine.policy.name} at"
+             f" {args.pressure:.0%} memory pressure"
+             f" ({args.granularity} granularity,"
+             f" {checker.events_seen:,} events,"
+             f" {checker.sweeps_run:,} sweeps):",
+             checker.report()]
+    if checker.violations and args.bundle_dir:
+        arch_key = canonical_arch(args.arch)
+        bundle = ReproBundle.capture(
+            engine, checker, architecture=arch_key,
+            policy_kwargs=SCALED_POLICY_KWARGS.get(arch_key, {}))
+        bundle.save(args.bundle_dir)
+        lines.append(f"replay bundle written to {args.bundle_dir}")
+        if args.minimise:
+            shrunk_wl = shrink_bundle(bundle)
+            n_events = sum(len(t.kinds) for t in shrunk_wl.traces)
+            shrunk_dir = os.path.join(args.bundle_dir, "minimised")
+            ReproBundle(shrunk_wl, bundle.config, bundle.architecture,
+                        bundle.policy_kwargs, violations=bundle.violations,
+                        quantum=bundle.quantum,
+                        granularity="event").save(shrunk_dir)
+            lines.append(f"minimised to {n_events} event(s): {shrunk_dir}")
+    elif args.minimise:
+        lines.append("nothing to minimise"
+                     + ("" if args.bundle_dir
+                        else " (--minimise requires --bundle-dir)"))
+    return "\n".join(lines), (1 if checker.violations else 0)
 
 
 def _cmd_claims(args) -> str:
@@ -250,6 +330,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "matrix": _cmd_matrix,
     "claims": _cmd_claims,
+    "check": _cmd_check,
     "hotpages": _cmd_hotpages,
     "analyze": _cmd_analyze,
     "store": _cmd_store,

@@ -77,18 +77,20 @@ def get_workload(app: str, scale: float = DEFAULT_SCALE) -> WorkloadTraces:
 
 
 def run_app(app: str, arch: str, pressure: float,
-            scale: float = DEFAULT_SCALE, **policy_overrides) -> RunResult:
+            scale: float = DEFAULT_SCALE, check: bool = False,
+            **policy_overrides) -> RunResult:
     """One cell of the evaluation matrix.
 
     Goes through the runtime layer: with an ambient
     :class:`~repro.runtime.store.RunStore` installed (the CLI installs
     one by default), repeated cells are served from disk instead of
     re-simulated.  Without one (the library/test default) this is a
-    plain simulation, as before.
+    plain simulation, as before.  ``check=True`` attaches the online
+    invariant checker and bypasses the store (see ``docs/invariants.md``).
     """
     spec = RunSpec.make(app, arch, pressure, scale,
                         policy_overrides=policy_overrides)
-    return execute_spec(spec)
+    return execute_spec(spec, check=check)
 
 
 def run_pressure_sweep(app: str, archs=ARCHITECTURES, pressures=None,

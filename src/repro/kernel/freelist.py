@@ -69,3 +69,8 @@ class FreePagePool:
 
     def deficit_to_target(self) -> int:
         return max(0, self.free_target - self.free)
+
+    def ledger_consistent(self) -> bool:
+        """Frames out must equal the allocation ledger (invariant hook)."""
+        return (0 <= self.free <= self.capacity
+                and self.in_use == self.allocations - self.releases)

@@ -140,6 +140,10 @@ class DirectMappedCache:
         amap = self.amap
         return [t for t in self.tags if t != -1 and (t >> amap.line_shift) == page]
 
+    def resident_lines(self) -> list[int]:
+        """All resident line ids (invariant-checker sweep)."""
+        return [t for t in self.tags if t != -1]
+
     def clear(self) -> None:
         self.tags = [-1] * self.n_sets
         self.dirty = [False] * self.n_sets

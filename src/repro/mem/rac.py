@@ -50,6 +50,10 @@ class RemoteAccessCache:
         self.chunks[chunk & self.entry_mask] = chunk
         self.fills += 1
 
+    def resident_entries(self) -> list[int]:
+        """All resident entry ids (chunks, or lines in victim mode)."""
+        return [c for c in self.chunks if c != -1]
+
     def invalidate_chunk(self, chunk: int) -> bool:
         """Coherence invalidation of one chunk.  True if it was resident."""
         slot = chunk & self.entry_mask

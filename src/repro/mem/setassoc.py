@@ -125,6 +125,10 @@ class SetAssociativeCache:
         shift = self.amap.line_shift
         return [t for s in self.sets for t in s if (t >> shift) == page]
 
+    def resident_lines(self) -> list[int]:
+        """All resident line ids (invariant-checker sweep)."""
+        return [t for s in self.sets for t in s]
+
     def clear(self) -> None:
         self.sets = [[] for _ in range(self.n_sets)]
         self.dirty = [set() for _ in range(self.n_sets)]

@@ -31,12 +31,13 @@ from .store import get_default_refresh, get_default_store
 __all__ = ["execute", "execute_spec", "run_spec", "log_progress"]
 
 
-def run_spec(spec: RunSpec, retries: int = 0) -> RunResult | RunFailure:
+def run_spec(spec: RunSpec, retries: int = 0,
+             check: bool = False) -> RunResult | RunFailure:
     """Execute one spec, converting exceptions into :class:`RunFailure`."""
     attempt = 0
     while True:
         try:
-            return spec.execute()
+            return spec.execute(check=check)
         except Exception as exc:  # noqa: BLE001 - isolation is the point
             if attempt >= retries:
                 return RunFailure(spec, f"{type(exc).__name__}: {exc}",
@@ -46,8 +47,8 @@ def run_spec(spec: RunSpec, retries: int = 0) -> RunResult | RunFailure:
 
 def _pool_worker(payload: tuple) -> RunResult | RunFailure:
     """Module-level so it pickles for :class:`ProcessPoolExecutor`."""
-    spec, retries = payload
-    return run_spec(spec, retries)
+    spec, retries, check = payload
+    return run_spec(spec, retries, check)
 
 
 def log_progress(event: str, spec: RunSpec, detail: str = "",
@@ -63,16 +64,21 @@ def log_progress(event: str, spec: RunSpec, detail: str = "",
 
 def execute(specs, *, store=None, refresh: bool | None = None,
             parallel: bool = True, max_workers: int | None = None,
-            retries: int = 0, progress=None) -> dict:
+            retries: int = 0, progress=None, check: bool = False) -> dict:
     """Run many specs; returns ``{spec: RunResult | RunFailure}``.
 
     *store* defaults to the ambient store (``None`` disables caching);
     *refresh* forces re-simulation of cached cells (results are still
     written back).  ``parallel=False`` runs inline in deterministic
-    order — the path tests use.
+    order — the path tests use.  ``check=True`` attaches the online
+    invariant checker to every cell and bypasses the store entirely
+    (checked results carry extra fields and must not pollute the cache,
+    and cached results carry no violation counts).
     """
     specs = list(specs)
-    if store is None:
+    if check:
+        store = None
+    elif store is None:
         store = get_default_store()
     if refresh is None:
         refresh = get_default_refresh()
@@ -100,10 +106,10 @@ def execute(specs, *, store=None, refresh: bool | None = None,
             workers = max_workers or min(len(todo), os.cpu_count() or 2)
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 outcomes = pool.map(_pool_worker,
-                                    [(spec, retries) for spec in todo])
+                                    [(spec, retries, check) for spec in todo])
                 pairs = list(zip(todo, outcomes))
         else:
-            pairs = [(spec, run_spec(spec, retries)) for spec in todo]
+            pairs = [(spec, run_spec(spec, retries, check)) for spec in todo]
         for spec, outcome in pairs:
             results[spec] = outcome
             if isinstance(outcome, RunFailure):
@@ -117,14 +123,17 @@ def execute(specs, *, store=None, refresh: bool | None = None,
     return results
 
 
-def execute_spec(spec: RunSpec, *, store=None,
-                 refresh: bool | None = None) -> RunResult:
+def execute_spec(spec: RunSpec, *, store=None, refresh: bool | None = None,
+                 check: bool = False) -> RunResult:
     """Run (or fetch) one spec; exceptions propagate to the caller.
 
     The single-cell path ``run_app`` and friends use: store-aware like
     :func:`execute`, but a failure raises — callers asking for exactly
-    one result want the exception, not a wrapper.
+    one result want the exception, not a wrapper.  ``check=True``
+    attaches the online invariant checker and bypasses the store.
     """
+    if check:
+        return spec.execute(check=True)
     if store is None:
         store = get_default_store()
     if refresh is None:

@@ -136,15 +136,21 @@ class RunSpec:
                 f"(x{self.scale:g}){extra}")
 
     # -- execution ------------------------------------------------------
-    def execute(self) -> RunResult:
+    def execute(self, check: bool = False) -> RunResult:
         """Run this cell's simulation (no caching — see the executor).
+
+        ``check=True`` attaches an online
+        :class:`~repro.check.InvariantChecker` (barrier granularity);
+        the result then reports ``invariant_violations``.  *check* is a
+        runtime mode, not part of the spec, so it never enters the
+        content hash — checked runs bypass the result store instead.
 
         Imports are deferred so worker processes only pay for what they
         use and so ``repro.harness`` can import this module freely.
         """
         from ..harness.experiment import get_workload, scaled_policy
         from ..sim.config import SystemConfig
-        from ..sim.engine import simulate
+        from ..sim.engine import DEFAULT_QUANTUM, Engine
 
         workload = get_workload(self.app, self.scale)
         cfg_kwargs = {"n_nodes": workload.n_nodes,
@@ -152,9 +158,12 @@ class RunSpec:
         cfg_kwargs.update(dict(self.config_overrides))
         config = SystemConfig(**cfg_kwargs)
         policy = scaled_policy(self.arch, **dict(self.policy_overrides))
-        if self.quantum is not None:
-            return simulate(workload, policy, config, quantum=self.quantum)
-        return simulate(workload, policy, config)
+        engine = Engine(workload, policy, config=config,
+                        quantum=self.quantum or DEFAULT_QUANTUM)
+        if check:
+            from ..check import InvariantChecker
+            InvariantChecker.attach(engine)
+        return engine.run()
 
 
 @dataclass(frozen=True)

@@ -102,6 +102,13 @@ class SystemConfig:
     #: port contention only; we model all three, each switchable).
     model_contention: bool = True
 
+    # -- debug -------------------------------------------------------------
+    #: Deliberate protocol-bug injection for the invariant checker
+    #: (:mod:`repro.check`): invalidations destined for this node are
+    #: silently dropped, leaving stale copies the directory cannot
+    #: reach.  -1 (the default) disables the bug.
+    debug_skip_invalidate_node: int = -1
+
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
             raise ValueError("n_nodes must be positive")

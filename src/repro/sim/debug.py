@@ -1,11 +1,11 @@
 """Bounded per-event debug tracing.
 
 For diagnosing a simulation (why did this page relocate?  which chunk
-ping-pongs?), attach an :class:`EventTrace` to the page-management side
-effects.  Because the reference hot path must stay fast, the trace
-hooks only the *rare* events -- faults, relocations, evictions,
-migrations, daemon runs -- by monkey-light decoration of one Node's
-methods, not the per-reference path.
+ping-pongs?), attach an :class:`EventTrace` to one node.  The trace is
+an observer on the machine-wide :class:`~repro.sim.events.EventBus`:
+it records the node's *page-management* events (mappings, evictions,
+relocations, flushes) and ignores the chattier coherence traffic, so
+the bounded buffer holds the interesting rare transitions.
 
 Usage::
 
@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .events import EV_EVICT, EV_FLUSH, EV_MAP_SCOMA, EV_RELOCATE
+
 __all__ = ["Event", "EventTrace"]
+
+#: Event kinds the trace keeps (page management only -- invalidations
+#: and demotions would flood the bounded buffer).
+_TRACED_KINDS = frozenset({EV_MAP_SCOMA, EV_EVICT, EV_RELOCATE, EV_FLUSH})
 
 
 @dataclass(frozen=True)
@@ -62,35 +68,19 @@ class EventTrace:
     # ------------------------------------------------------------------
     @classmethod
     def attach(cls, node, limit: int = 10_000) -> "EventTrace":
-        """Wrap *node*'s page-management methods with event recording."""
+        """Subscribe a trace for *node*'s page-management events."""
         trace = cls(limit=limit)
+        node_id = node.id
 
-        original_map = node.map_scoma
-        original_evict = node.evict_scoma_page
-        original_relocate = node.relocate_to_scoma
-        original_flush = node.flush_page
+        def observer(event) -> None:
+            if event.node != node_id or event.kind not in _TRACED_KINDS:
+                return
+            detail = ""
+            if event.kind == EV_EVICT:
+                detail = "forced" if event.detail.get("forced") else "daemon"
+            trace.record(event.kind, event.node, event.page, detail)
 
-        def map_scoma(page):
-            trace.record("map_scoma", node.id, page)
-            return original_map(page)
-
-        def evict_scoma_page(page, forced):
-            trace.record("evict", node.id, page,
-                         "forced" if forced else "daemon")
-            return original_evict(page, forced)
-
-        def relocate_to_scoma(page):
-            trace.record("relocate", node.id, page)
-            return original_relocate(page)
-
-        def flush_page(page):
-            trace.record("flush", node.id, page)
-            return original_flush(page)
-
-        node.map_scoma = map_scoma
-        node.evict_scoma_page = evict_scoma_page
-        node.relocate_to_scoma = relocate_to_scoma
-        node.flush_page = flush_page
+        node.events.subscribe(observer)
         return trace
 
     def ping_pong_pages(self, min_cycles: int = 2) -> dict[int, int]:

@@ -33,6 +33,7 @@ from __future__ import annotations
 from ..core.policy import ArchitecturePolicy, RelocationDecision
 from ..kernel.vm import PageMode
 from .config import SystemConfig
+from .events import EV_BARRIER, EV_END, EV_FAULT, EV_MIGRATE
 from .machine import Machine
 from .stats import RunResult
 from .trace import EV_COMPUTE, EV_LOCAL, EV_WRITE, WorkloadTraces
@@ -68,6 +69,12 @@ class Engine:
                                workload.home_pages_per_node,
                                workload.total_shared_pages,
                                log_messages=log_messages)
+        #: Machine-shared rare-event bus (identity is stable for the
+        #: engine's lifetime, so it can be cached in locals).
+        self._events = self.machine.events
+        #: Optional online invariant checker (repro.check attaches one);
+        #: when set, the run result carries its violation count.
+        self.checker = None
         #: pure S-COMA must map every remote page locally, even if a
         #: victim has to be force-evicted at fault time.
         self._mandatory_scoma = policy.mandatory_page_cache
@@ -169,21 +176,33 @@ class Engine:
                                 finished[i] = True
                     if self.sampler is not None:
                         self.sampler.sample(release, nodes)
+                    events = self._events
+                    if events.observers:
+                        events.clock = release
+                        events.publish(EV_BARRIER, -1, -1, barrier=ids.pop())
 
+        events = self._events
+        if events.observers:
+            events.clock = max(clock) if clock else 0
+            events.publish(EV_END, -1, -1)
+
+        extra = {
+            "utilisation": machine.utilisation_report(),
+            "page_cache_frames": machine.page_cache_frames(),
+            "protocol": {
+                "remote_fetches": machine.protocol.remote_fetches,
+                "three_hop": machine.protocol.three_hop_fetches,
+                "write_stalls": machine.protocol.write_stalls,
+            },
+        }
+        if self.checker is not None:
+            extra["invariant_violations"] = self.checker.violation_count()
         return RunResult(
             architecture=self.policy.name,
             workload=self.workload.name,
             pressure=self.config.memory_pressure,
             node_stats=[nd.stats for nd in nodes],
-            extra={
-                "utilisation": machine.utilisation_report(),
-                "page_cache_frames": machine.page_cache_frames(),
-                "protocol": {
-                    "remote_fetches": machine.protocol.remote_fetches,
-                    "three_hop": machine.protocol.three_hop_fetches,
-                    "write_stalls": machine.protocol.write_stalls,
-                },
-            },
+            extra=extra,
         )
 
     # ------------------------------------------------------------------
@@ -210,6 +229,9 @@ class Engine:
                 if chunk not in node.owned:
                     page = line >> amap.line_shift
                     home = self.machine.allocator.home[page]
+                    events = self._events
+                    if events.observers:
+                        events.clock = now
                     lat = self.machine.protocol.upgrade(node.id, chunk, page,
                                                         home, now)
                     node.owned.add(chunk)
@@ -222,6 +244,9 @@ class Engine:
 
         # -- L1 miss ------------------------------------------------------
         stats.l1_misses += 1
+        events = self._events
+        if events.observers:
+            events.clock = now
         page = line >> amap.line_shift
         chunk = line >> amap.chunk_shift
         node.tlb.ref_bits[page] = True
@@ -341,13 +366,13 @@ class Engine:
         home = self.machine.allocator.home_of(page, node.id)
         if home == node.id:
             node.page_table.map_home(page)
-            return PageMode.HOME, kernel
+            return self._faulted(node, page, PageMode.HOME, home, kernel)
 
         mode = self.policy.initial_mode(node.policy_state, node.pool.free)
         if mode == PageMode.SCOMA:
             if node.acquire_frame(now + kernel):
                 node.map_scoma(page)
-                return PageMode.SCOMA, kernel
+                return self._faulted(node, page, PageMode.SCOMA, home, kernel)
             if self._mandatory_scoma:
                 # Pure S-COMA: evict someone (hot or not) right now.
                 victim = node.choose_victim()
@@ -357,10 +382,18 @@ class Engine:
                 if not node.pool.try_allocate():  # pragma: no cover - invariant
                     raise RuntimeError("frame lost after forced eviction")
                 node.map_scoma(page)
-                return PageMode.SCOMA, kernel
+                return self._faulted(node, page, PageMode.SCOMA, home, kernel)
             # Hybrid with a dry pool: fall back to CC-NUMA mode.
         node.page_table.map_ccnuma(page)
-        return PageMode.CCNUMA, kernel
+        return self._faulted(node, page, PageMode.CCNUMA, home, kernel)
+
+    def _faulted(self, node, page: int, mode: int, home: int,
+                 kernel: int) -> tuple[int, int]:
+        """Publish the fault event and return the (mode, kernel) pair."""
+        events = self._events
+        if events.observers:
+            events.publish(EV_FAULT, node.id, page, mode=int(mode), home=home)
+        return mode, kernel
 
     def _handle_relocation_hint(self, node, page: int, now: int) -> int:
         """Directory flagged *page* hot for *node*: maybe remap it."""
@@ -436,11 +469,19 @@ class Engine:
 
         machine.allocator.migrate(page, node.id)
         node.page_table.convert_ccnuma_to_home(page)
+        # The requester's RAC may hold chunks fetched while the page was
+        # remote; now that it is home-mapped they would linger unused.
+        node.rac.flush_page(page, amap.lines_per_page if self._rac_victim
+                            else amap.chunks_per_page)
         directory.reset_refetch(page, node.id)
 
         overhead = node.costs.migration_cost(amap.chunks_per_page, flushed)
         stats.K_OVERHD += overhead
         stats.migrations += 1
+        events = self._events
+        if events.observers:
+            events.clock = now
+            events.publish(EV_MIGRATE, node.id, page, old_home=old_home)
         return overhead
 
 

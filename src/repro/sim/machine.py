@@ -17,6 +17,7 @@ from ..interconnect.network import Network
 from ..interconnect.topology import SwitchTopology
 from ..kernel.allocation import make_allocator
 from .config import SystemConfig
+from .events import EventBus
 from .node import Node
 
 __all__ = ["Machine"]
@@ -31,6 +32,8 @@ class Machine:
         self.config = config
         self.policy = policy
         self.amap = config.address_map()
+        #: Shared rare-event bus (near-zero cost while unobserved).
+        self.events = EventBus()
 
         self.log = MessageLog() if log_messages else None
         self.directory = Directory(config.n_nodes, self.amap.chunks_per_page,
@@ -56,7 +59,7 @@ class Machine:
         total_frames = config.total_frames(home_pages_per_node)
         self.nodes = [
             Node(i, config, self.amap, self.directory, policy,
-                 cache_frames, total_frames)
+                 cache_frames, total_frames, events=self.events)
             for i in range(config.n_nodes)
         ]
         self.buses = [SplitTransactionBus(config.bus_occupancy_cycles
@@ -73,6 +76,11 @@ class Machine:
 
     # -- cross-node callbacks --------------------------------------------
     def _invalidate_chunk(self, node_id: int, chunk: int) -> None:
+        if node_id == self.config.debug_skip_invalidate_node:
+            # Deliberate protocol bug used to exercise the invariant
+            # checker (repro.check): the victim keeps a stale copy that
+            # the directory no longer knows about.
+            return
         self.nodes[node_id].invalidate_chunk(chunk)
 
     def _demote_chunk(self, node_id: int, chunk: int) -> None:

@@ -27,6 +27,8 @@ from ..mem.dram import BankedMemory
 from ..mem.rac import RemoteAccessCache
 from ..mem.tlb import TLB
 from .config import SystemConfig
+from .events import (EV_DAEMON, EV_DEMOTE, EV_EVICT, EV_FLUSH,
+                     EV_INVALIDATE, EV_MAP_SCOMA, EV_RELOCATE, EventBus)
 from .stats import NodeStats
 
 __all__ = ["Node"]
@@ -37,8 +39,11 @@ class Node:
 
     def __init__(self, node_id: int, config: SystemConfig, amap: AddressMap,
                  directory: Directory, policy: ArchitecturePolicy,
-                 cache_frames: int, total_frames: int) -> None:
+                 cache_frames: int, total_frames: int,
+                 events: EventBus | None = None) -> None:
         self.id = node_id
+        #: Machine-shared rare-event bus (see repro.sim.events).
+        self.events = events if events is not None else EventBus()
         self.config = config
         self.amap = amap
         self.directory = directory
@@ -101,10 +106,15 @@ class Node:
         page = amap.page_of_chunk(chunk)
         if self.page_table.mode_of(page) == PageMode.SCOMA:
             self.page_table.clear_chunk_valid(page, chunk % amap.chunks_per_page)
+        if self.events.observers:
+            self.events.publish(EV_INVALIDATE, self.id, page, chunk=chunk)
 
     def demote_chunk(self, chunk: int) -> None:
         """Lose write permission (a remote reader demoted our M copy)."""
         self.owned.discard(chunk)
+        if self.events.observers:
+            self.events.publish(EV_DEMOTE, self.id,
+                                self.amap.page_of_chunk(chunk), chunk=chunk)
 
     # ------------------------------------------------------------------
     # Page-management operations.
@@ -124,6 +134,8 @@ class Node:
             self.owned.discard(chunk)
         self.directory.drop_node_from_page(self.id, page)
         self.stats.lines_flushed += flushed
+        if self.events.observers:
+            self.events.publish(EV_FLUSH, self.id, page, flushed=flushed)
         return flushed
 
     def map_scoma(self, page: int) -> None:
@@ -132,6 +144,8 @@ class Node:
         self.pagecache_hits[page] = 0
         if hasattr(self.policy_state, "cached_pages"):
             self.policy_state.cached_pages = self.page_table.scoma_page_count()
+        if self.events.observers:
+            self.events.publish(EV_MAP_SCOMA, self.id, page)
 
     def evict_scoma_page(self, page: int, forced: bool) -> int:
         """Evict *page* from the page cache; returns K-OVERHD cycles.
@@ -151,6 +165,9 @@ class Node:
         self.stats.evictions += 1
         if forced:
             self.stats.forced_evictions += 1
+        if self.events.observers:
+            self.events.publish(EV_EVICT, self.id, page, forced=forced,
+                                flushed=flushed)
         return self.costs.eviction_cost(flushed)
 
     def relocate_to_scoma(self, page: int) -> int:
@@ -165,6 +182,8 @@ class Node:
         self.directory.reset_refetch(page, self.id)
         self.policy_state.relocations += 1
         self.stats.relocations += 1
+        if self.events.observers:
+            self.events.publish(EV_RELOCATE, self.id, page, flushed=flushed)
         return self.costs.relocation_cost(flushed)
 
     def choose_victim(self) -> int:
@@ -199,12 +218,21 @@ class Node:
     def run_daemon_if_due(self, now: int) -> None:
         """Invoke the pageout daemon when the pool is low (rate-limited)."""
         if self.daemon.due(now):
+            events = self.events
+            if events.observers:
+                events.clock = now
             result = self.daemon.run(now)
             self.stats.K_OVERHD += result.cost
             self.stats.daemon_runs += 1
             if result.thrashing:
                 self.stats.daemon_thrash += 1
             self.policy.on_daemon_result(self.policy_state, result, self.daemon)
+            if events.observers:
+                events.publish(
+                    EV_DAEMON, self.id, -1,
+                    reclaimed=result.reclaimed, target=result.target,
+                    thrashing=result.thrashing,
+                    threshold=self.policy_state.effective_threshold())
 
     def acquire_frame(self, now: int) -> bool:
         """Try to get a free frame, running the daemon first if it is due."""

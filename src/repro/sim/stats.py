@@ -143,6 +143,11 @@ class RunResult:
         total = agg.total_cycles()
         return agg.K_OVERHD / total if total else 0.0
 
+    @property
+    def invariant_violations(self) -> int | None:
+        """Online-checker violation count; None when no checker ran."""
+        return self.extra.get("invariant_violations")
+
     # -- serialisation ---------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-compatible form; round-trips through :meth:`from_dict`.
@@ -167,7 +172,7 @@ class RunResult:
 
     def summary(self) -> dict:
         agg = self.aggregate()
-        return {
+        out = {
             "architecture": self.architecture,
             "workload": self.workload,
             "pressure": self.pressure,
@@ -179,3 +184,6 @@ class RunResult:
             "daemon_runs": agg.daemon_runs,
             "induced_cold": agg.induced_cold,
         }
+        if self.invariant_violations is not None:
+            out["invariant_violations"] = self.invariant_violations
+        return out

@@ -1,0 +1,76 @@
+"""Regenerate the regression corpus.
+
+Each subdirectory of ``tests/corpus/`` is a failure-replay bundle
+(:class:`repro.check.ReproBundle`); ``tests/test_corpus.py`` replays
+every entry and requires the checker to report exactly the recorded
+violations.  The corpus pins down past failure modes (and known-clean
+configurations) as deterministic replay cases.
+
+Run from the repository root after an intentional simulator change::
+
+    PYTHONPATH=src python tests/corpus/regenerate.py
+
+then review the diff of the regenerated ``bundle.json`` files -- a
+changed violation list means simulator behaviour changed.
+"""
+
+import os
+
+from repro.check import InvariantChecker, ReproBundle, TraceShrinker
+from repro.core import make_policy
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+from repro.workloads import migratory, synthetic
+
+CORPUS = os.path.dirname(os.path.abspath(__file__))
+
+
+def capture(name, workload, arch, policy_kwargs, config,
+            granularity="event"):
+    """Run, attach a checker, and save the bundle under *name*."""
+    engine = Engine(workload, make_policy(arch, **policy_kwargs), config)
+    checker = InvariantChecker.attach(engine, granularity=granularity)
+    engine.run()
+    bundle = ReproBundle.capture(engine, checker, architecture=arch,
+                                 policy_kwargs=policy_kwargs)
+    bundle.save(os.path.join(CORPUS, name))
+    print(f"{name}: {checker.violation_count()} violation(s),"
+          f" {sum(len(t.kinds) for t in workload.traces)} events")
+    return bundle
+
+
+def main():
+    base = dict(n_nodes=4, home_pages_per_node=6, remote_pages_per_node=10,
+                sweeps=5, lines_per_visit=8, hot_fraction=0.8,
+                home_lines_per_sweep=32, seed=3)
+
+    # 1. The seeded protocol bug (dropped invalidations to node 1),
+    #    shrunk to a minimal trace before capture so replay is instant.
+    wl = synthetic.generate(write_fraction=0.5, **base)
+    cfg = SystemConfig(n_nodes=4, memory_pressure=0.5,
+                       debug_skip_invalidate_node=1)
+    kwargs = dict(threshold=8, increment=4)
+    engine = Engine(wl, make_policy("ASCOMA", **kwargs), cfg)
+    checker = InvariantChecker.attach(engine, granularity="event")
+    engine.run()
+    assert checker.violations, "seeded bug no longer reproduces"
+    full = ReproBundle.capture(engine, checker, architecture="ASCOMA",
+                               policy_kwargs=kwargs)
+    shrunk = TraceShrinker(full).minimise()
+    capture("ascoma-skip-invalidate", shrunk, "ASCOMA", kwargs, cfg)
+
+    # 2. Known-clean: VC-NUMA under high pressure (eviction-heavy).
+    wl = synthetic.generate(write_fraction=0.3, **base)
+    capture("vcnuma-highpressure-clean", wl, "VCNUMA",
+            dict(threshold=8, break_even=4, increment=4),
+            SystemConfig(n_nodes=4, memory_pressure=0.9))
+
+    # 3. Known-clean: home migration under CC-NUMA-MIG.
+    wl = migratory.generate(scale=0.25, sweeps=6)
+    capture("ccnumamig-migratory-clean", wl, "CCNUMAMIG",
+            dict(threshold=8),
+            SystemConfig(n_nodes=wl.n_nodes, memory_pressure=0.5))
+
+
+if __name__ == "__main__":
+    main()

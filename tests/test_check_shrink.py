@@ -1,0 +1,92 @@
+"""Delta-debugging trace shrinker tests.
+
+The acceptance bar: starting from the seeded protocol bug's multi-
+thousand-event trace, the shrinker must produce a trace of fewer than
+50 events that still triggers the same invariant, while preserving the
+engine's structural requirements (equal barrier counts per node).
+"""
+
+import pytest
+
+from repro.check import InvariantChecker, TraceShrinker, shrink_bundle
+from repro.check.shrink import _to_lists, _to_workload
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.trace import EV_BARRIER
+
+from tests.test_check_bundle import seeded_bundle
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return seeded_bundle()
+
+
+@pytest.fixture(scope="module")
+def shrunk(bundle):
+    return shrink_bundle(bundle)
+
+
+class TestShrinker:
+    def test_shrunk_trace_is_small(self, bundle, shrunk):
+        original = sum(len(t.kinds) for t in bundle.workload.traces)
+        minimal = sum(len(t.kinds) for t in shrunk.traces)
+        assert original > 1000
+        assert minimal < 50
+
+    def test_shrunk_trace_still_violates_same_invariant(self, bundle,
+                                                        shrunk):
+        target = bundle.violations[0].invariant
+        engine = Engine(shrunk, bundle.make_policy(), config=bundle.config,
+                        quantum=bundle.quantum)
+        checker = InvariantChecker.attach(engine, granularity="event")
+        engine.run()
+        assert any(v.invariant == target for v in checker.violations)
+
+    def test_shrunk_trace_keeps_barrier_structure(self, bundle, shrunk):
+        def barrier_counts(workload):
+            return [int((t.kinds == EV_BARRIER).sum())
+                    for t in workload.traces]
+        counts = barrier_counts(shrunk)
+        assert len(set(counts)) == 1  # engine requirement
+        assert counts[0] <= barrier_counts(bundle.workload)[0]
+
+    def test_non_reproducing_bundle_is_rejected(self, bundle):
+        clean = type(bundle)(bundle.workload,
+                             SystemConfig(n_nodes=4, memory_pressure=0.5),
+                             bundle.architecture, bundle.policy_kwargs,
+                             violations=bundle.violations,
+                             quantum=bundle.quantum)
+        with pytest.raises(ValueError, match="does not reproduce"):
+            TraceShrinker(clean).minimise()
+
+    def test_run_budget_is_respected(self, bundle):
+        shrinker = TraceShrinker(bundle, max_runs=10)
+        shrinker.minimise()
+        assert shrinker.runs <= 10
+
+    def test_list_workload_round_trip(self, bundle):
+        lists = _to_lists(bundle.workload)
+        rebuilt = _to_workload(lists, bundle.workload)
+        assert rebuilt.name.endswith("-shrunk")
+        assert _to_lists(rebuilt) == lists
+
+
+class TestTargetSelection:
+    def test_default_target_is_first_violation(self, bundle):
+        shrinker = TraceShrinker(bundle)
+        assert shrinker.target_invariant == bundle.violations[0].invariant
+
+    def test_unmatched_target_does_not_reproduce(self, bundle):
+        with pytest.raises(ValueError, match="does not reproduce"):
+            TraceShrinker(bundle,
+                          target_invariant="threshold-backoff").minimise()
+
+    def test_crashing_candidate_counts_as_not_failing(self, bundle):
+        shrinker = TraceShrinker(bundle)
+        lists = _to_lists(bundle.workload)
+        # An all-barrier skeleton with no warm-up reads still replays
+        # without crashing, but reports no violation.
+        skeleton = [[ev for ev in events if ev[0] == EV_BARRIER]
+                    for events in lists]
+        assert shrinker._fails(skeleton) is False

@@ -129,10 +129,10 @@ class TestMatrixCommand:
         from repro.runtime import RunSpec
         real = RunSpec.execute
 
-        def sabotaged(spec):
+        def sabotaged(spec, check=False):
             if spec.arch == "SCOMA":
                 raise RuntimeError("injected failure")
-            return real(spec)
+            return real(spec, check=check)
 
         monkeypatch.setattr(RunSpec, "execute", sabotaged)
         assert main(["--scale", "0.1", "matrix", "--apps", "fft",

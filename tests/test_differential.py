@@ -1,0 +1,94 @@
+"""Differential testing: replay engine vs the analytic overhead model.
+
+Table 1's formula predicts each architecture's remote access overhead
+from its miss counts::
+
+    (Npagecache * Tpagecache) + (Nremote * Tremote)
+        + (Ncold * Tremote) + Toverhead
+
+With contention modelling off, the simulator's per-class stall
+accounting must track that prediction from its *own* miss counters --
+a divergence means the engine is charging cycles the classification
+doesn't explain (or vice versa).
+
+Recorded tolerance: ``1.0 <= simulated/predicted <= 1.05``.
+
+* The lower bound is exact: the analytic T-terms are the engine's
+  contention-free minima, so simulation can only add cycles.
+* The upper band covers the two stall sources the formula omits:
+  sequential-consistency write stalls (invalidation round-trips on
+  upgrades) and network paths longer than one switch hop.  Empirically
+  (em3d / fft / radix x all architectures x pressures 0.3-0.9, scale
+  0.25) the worst observed ratio is 1.030.
+
+CC-NUMA's formula has no cold term "by construction" (its Nremote is
+every remote miss), so cold misses fold into ``n_remote`` there.
+"""
+
+import pytest
+
+from repro.core import make_policy
+from repro.core.analytic import MissCounts, RemoteOverheadModel
+from repro.harness.experiment import SCALED_POLICY_KWARGS, get_workload
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+
+RATIO_MAX = 1.05
+
+APPS = ("em3d", "fft", "radix")
+ARCHS = ("CCNUMA", "SCOMA", "RNUMA", "VCNUMA", "ASCOMA")
+PRESSURES = (0.3, 0.7, 0.9)
+
+
+def simulate(app, arch, pressure):
+    wl = get_workload(app, 0.25)
+    cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=pressure,
+                       model_contention=False)
+    engine = Engine(wl, make_policy(arch, **SCALED_POLICY_KWARGS[arch]), cfg)
+    return engine.run().aggregate()
+
+
+def miss_counts(arch, agg) -> MissCounts:
+    if arch == "CCNUMA":
+        return MissCounts(n_remote=agg.CONF_CAPC + agg.COLD)
+    return MissCounts(n_pagecache=agg.SCOMA, n_remote=agg.CONF_CAPC,
+                      n_cold=agg.COLD, t_overhead=agg.K_OVERHD)
+
+
+@pytest.mark.parametrize("arch", ARCHS)
+@pytest.mark.parametrize("app", APPS)
+class TestEngineTracksAnalyticModel:
+    @pytest.mark.parametrize("pressure", PRESSURES)
+    def test_overhead_within_recorded_tolerance(self, app, arch, pressure):
+        agg = simulate(app, arch, pressure)
+        cfg = SystemConfig(n_nodes=1)
+        model = RemoteOverheadModel(t_pagecache=cfg.local_memory_cycles,
+                                    t_remote=cfg.remote_min_cycles())
+        predicted = model.evaluate(arch, miss_counts(arch, agg))
+        simulated = (agg.SCOMA_LAT + agg.CONF_CAPC_LAT + agg.COLD_LAT
+                     + agg.K_OVERHD)
+        assert predicted > 0, "differential comparison needs remote traffic"
+        ratio = simulated / predicted
+        assert 1.0 <= ratio <= RATIO_MAX, (
+            f"{app}/{arch}@{pressure:.0%}: simulated {simulated:,} vs"
+            f" predicted {predicted:,} (ratio {ratio:.4f})")
+
+
+class TestModelStructure:
+    """The formula's architecture-specific structure holds in the engine."""
+
+    def test_ccnuma_never_uses_the_page_cache(self):
+        agg = simulate("em3d", "CCNUMA", 0.7)
+        assert agg.SCOMA == 0 and agg.SCOMA_LAT == 0
+        assert agg.K_OVERHD == 0  # Toverhead == 0 by construction
+
+    def test_scoma_sends_no_conflict_miss_remote(self):
+        agg = simulate("em3d", "SCOMA", 0.7)
+        assert agg.CONF_CAPC == 0 and agg.CONF_CAPC_LAT == 0
+
+    def test_hybrids_use_all_four_terms_under_pressure(self):
+        agg = simulate("em3d", "ASCOMA", 0.9)
+        assert agg.SCOMA > 0       # page-cache hits
+        assert agg.CONF_CAPC > 0   # remote conflict misses
+        assert agg.COLD > 0        # (induced) cold misses
+        assert agg.K_OVERHD > 0    # software overhead

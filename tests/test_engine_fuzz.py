@@ -10,17 +10,28 @@ for *any* input:
 * miss classes are architecture-consistent (CC-NUMA never hits a page
   cache, pure S-COMA never sends a conflict miss remote);
 * frame accounting balances (allocations - releases == frames in use);
-* the coherence reachability audit holds at end of run.
+* the coherence reachability audit holds at end of run;
+* the online invariant checker (``repro.check``), attached at event
+  granularity, stays silent for every architecture.
+
+``REPRO_FUZZ_EXAMPLES`` scales the per-test example count (default 25)
+so CI's dispatch-gated fuzz job can run a deeper sweep than the tier-1
+suite without editing the file.
 """
+
+import os
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.check import InvariantChecker
 from repro.core import make_policy
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine
 from repro.sim.trace import TraceBuilder, WorkloadTraces
 from tests.test_coherence_model import audit_machine
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
 
 N_NODES = 3
 HOME_PAGES = 2
@@ -68,12 +79,17 @@ def build_workload(per_node) -> WorkloadTraces:
 @pytest.mark.parametrize("arch", sorted(ARCH_KWARGS))
 class TestEngineFuzz:
     @given(workload_events, st.sampled_from([0.3, 0.9]))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
     def test_invariants(self, arch, per_node, pressure):
         wl = build_workload(per_node)
         cfg = SystemConfig(n_nodes=N_NODES, memory_pressure=pressure)
         engine = Engine(wl, make_policy(arch, **ARCH_KWARGS[arch]), cfg)
+        checker = InvariantChecker.attach(engine, granularity="event")
         result = engine.run()
+
+        # The online checker saw every transition and stayed silent.
+        assert not checker.violations, checker.report()
+        assert result.invariant_violations == 0
 
         for node, stats in zip(engine.machine.nodes, result.node_stats):
             # Accounting closure.
@@ -112,7 +128,7 @@ class TestEngineFuzz:
         audit_machine(engine)
 
     @given(workload_events)
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=max(5, MAX_EXAMPLES // 2), deadline=None)
     def test_determinism(self, arch, per_node):
         wl = build_workload(per_node)
         cfg = SystemConfig(n_nodes=N_NODES, memory_pressure=0.5)

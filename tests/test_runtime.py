@@ -22,9 +22,9 @@ def exec_counter(monkeypatch):
     calls = []
     real = RunSpec.execute
 
-    def counting(self):
+    def counting(self, check=False):
         calls.append(self)
-        return real(self)
+        return real(self, check=check)
 
     monkeypatch.setattr(RunSpec, "execute", counting)
     return calls
@@ -218,11 +218,11 @@ class TestFaultIsolation:
         attempts = []
         real = RunSpec.execute
 
-        def flaky(spec):
+        def flaky(spec, check=False):
             attempts.append(spec)
             if len(attempts) == 1:
                 raise RuntimeError("transient")
-            return real(spec)
+            return real(spec, check=check)
 
         monkeypatch.setattr(RunSpec, "execute", flaky)
         assert isinstance(run_spec(self.GOOD[0], retries=0), RunFailure)
