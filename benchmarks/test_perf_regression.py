@@ -1,0 +1,83 @@
+"""Continuous-benchmark regression gate against the committed baseline.
+
+Compares a fresh run of the headline ``matrix_micro`` benchmark (and a
+cheap sanity subset of the rest of the suite) against the numbers
+committed in ``BENCH_pr3.json`` at the repo root, and fails on a >20%
+events/sec drop.  Hardware differences between the committing machine
+and the test machine are real, so the gate is deliberately loose -- it
+exists to catch order-of-magnitude interpreter-loop regressions (an
+accidentally disabled fast path, a per-event allocation creeping back
+in), not single-digit noise.
+
+Opt-in: wall-clock assertions are inherently flaky on loaded CI
+runners, so these tests skip unless ``REPRO_PERF=1`` is set::
+
+    REPRO_PERF=1 PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py -v
+
+They are additionally marked ``perf`` for selection via ``-m perf``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.perf import bench_matrix_micro, load_bench_json
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
+
+#: Fail below this fraction of the committed throughput.
+FLOOR = 0.8
+
+pytestmark = [
+    pytest.mark.perf,
+    pytest.mark.skipif(os.environ.get("REPRO_PERF", "") != "1",
+                       reason="perf regression gate runs only with REPRO_PERF=1"),
+]
+
+
+@pytest.fixture(scope="module")
+def committed() -> dict:
+    if not BENCH_JSON.exists():
+        pytest.skip(f"no committed benchmark file at {BENCH_JSON}")
+    payload = load_bench_json(BENCH_JSON)
+    return {r["name"]: r for r in payload["results"]}
+
+
+def test_matrix_micro_throughput(committed):
+    base = committed.get("matrix_micro")
+    assert base, "BENCH_pr3.json has no matrix_micro entry"
+    fresh = bench_matrix_micro(repeats=3)
+    # Same benchmark definition, or the comparison is meaningless.
+    assert fresh.events == base["events"], (
+        "matrix_micro workload changed; regenerate BENCH_pr3.json")
+    floor = FLOOR * base["events_per_sec"]
+    assert fresh.events_per_sec >= floor, (
+        f"matrix_micro regressed: {fresh.events_per_sec:,.0f} ev/s is below "
+        f"{FLOOR:.0%} of the committed {base['events_per_sec']:,.0f} ev/s")
+
+
+def test_fast_path_beats_reference(committed):
+    """The whole point of the fast path: it must outrun the reference
+    loop on the same cells, in the same process, on this machine --
+    a hardware-independent self-check of the committed speedup claim."""
+    from repro.harness.experiment import get_workload, scaled_policy
+    from repro.perf import MATRIX_CELLS, MICRO_SCALE, run_bench
+    from repro.sim.config import SystemConfig
+    from repro.sim.engine import Engine
+
+    wls = {app: get_workload(app, MICRO_SCALE) for app, _, _ in MATRIX_CELLS}
+
+    def once(slow):
+        for app, arch, pr in MATRIX_CELLS:
+            wl = wls[app]
+            cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=pr)
+            Engine(wl, scaled_policy(arch), config=cfg, slow_path=slow).run()
+
+    fast = run_bench("fast", lambda: once(False), 1, repeats=2)
+    slow = run_bench("slow", lambda: once(True), 1, repeats=2)
+    assert fast.wall_s < slow.wall_s, (
+        f"fast path ({fast.wall_s:.3f}s) is not faster than the reference "
+        f"loop ({slow.wall_s:.3f}s)")

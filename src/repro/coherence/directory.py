@@ -108,40 +108,59 @@ class Directory:
         accounting (an S-COMA page is already local; its refetches are
         coherence-driven and must not re-trigger relocation).
         """
+        return FetchOutcome(*self.fetch_raw(node, chunk, page, is_write,
+                                            threshold, count_refetch, home))
+
+    def fetch_raw(self, node: int, chunk: int, page: int, is_write: bool,
+                  threshold: int, count_refetch: bool = True,
+                  home: int = 0) -> tuple:
+        """:meth:`fetch` without the :class:`FetchOutcome` wrapper.
+
+        Returns the outcome as a plain tuple in ``FetchOutcome.__init__``
+        argument order: ``(refetch, forwarded, invalidations,
+        relocation_hint, prev_owner, exclusive)``.  The replay engine
+        processes tens of thousands of fetches per run, and skipping the
+        per-call object construction is a measurable share of the hot
+        path (docs/performance.md); both entry points share this body,
+        so their behaviour cannot diverge.
+        """
         bit = 1 << node
-        cs = self.copyset.get(chunk, 0)
+        copyset = self.copyset
+        owner_map = self.owner
+        log = self.log
+        cs = copyset.get(chunk, 0)
         refetch = bool(cs & bit)
         forwarded = False
         exclusive = False
         invalidations: tuple[int, ...] = ()
 
-        owner = self.owner.get(chunk, -1)
+        owner = owner_map.get(chunk, -1)
         if owner != -1 and owner != node:
             # Dirty at a third node: home forwards, owner writes back.
             forwarded = True
             self.forwards += 1
-            if self.log is not None:
-                self.log.record(Message(MsgKind.FWD, home, owner, chunk))
-            del self.owner[chunk]
+            if log is not None:
+                log.record(Message(MsgKind.FWD, home, owner, chunk))
+            del owner_map[chunk]
 
         if is_write:
             others = cs & ~bit
             if others:
                 invalidations = tuple(n for n in range(self.n_nodes) if others >> n & 1)
                 self.invalidations_sent += len(invalidations)
-                if self.log is not None:
+                if log is not None:
                     for victim in invalidations:
-                        self.log.record(Message(MsgKind.INV, node, victim, chunk))
-            self.copyset[chunk] = bit
-            self.owner[chunk] = node
+                        log.record(Message(MsgKind.INV, node, victim, chunk))
+            copyset[chunk] = bit
+            owner_map[chunk] = node
         else:
-            self.copyset[chunk] = cs | bit
+            copyset[chunk] = cs | bit
             if owner == node:
                 # Re-read by the owner keeps ownership.
                 pass
             elif self.grant_exclusive and cs == 0:
                 # MESI: first and only reader takes the chunk Exclusive.
-                self.owner[chunk] = node
+                owner_map[chunk] = node
                 exclusive = True
 
         relocation_hint = False
@@ -158,15 +177,14 @@ class Directory:
                     self.refetch_count[key] = count
         if exclusive:
             self.exclusive_grants += 1
-        if self.log is not None:
-            self.log.record(Message(
+        if log is not None:
+            log.record(Message(
                 MsgKind.GETX if is_write else MsgKind.GET, node, home, chunk,
             ))
-            self.log.record(Message(MsgKind.DATA, home, node, chunk,
-                                    relocation_hint=relocation_hint))
-        return FetchOutcome(refetch, forwarded, invalidations, relocation_hint,
-                            prev_owner=owner if owner != node else -1,
-                            exclusive=exclusive)
+            log.record(Message(MsgKind.DATA, home, node, chunk,
+                               relocation_hint=relocation_hint))
+        return (refetch, forwarded, invalidations, relocation_hint,
+                owner if owner != node else -1, exclusive)
 
     # ------------------------------------------------------------------
     def drop_node_from_page(self, node: int, page: int) -> int:

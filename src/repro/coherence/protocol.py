@@ -66,23 +66,37 @@ class CoherenceProtocol:
                      is_write: bool, threshold: int, now: int,
                      count_refetch: bool = True) -> RemoteResult:
         """Fetch *chunk* from its remote *home* on behalf of *node*."""
-        outcome = self.directory.fetch(node, chunk, page, is_write,
+        lat, out = self.remote_fetch_raw(node, chunk, page, home, is_write,
+                                         threshold, now, count_refetch)
+        return RemoteResult(lat, FetchOutcome(*out))
+
+    def remote_fetch_raw(self, node: int, chunk: int, page: int, home: int,
+                         is_write: bool, threshold: int, now: int,
+                         count_refetch: bool = True) -> tuple:
+        """:meth:`remote_fetch` without the result-object wrappers.
+
+        Returns ``(latency, outcome_tuple)`` with the outcome in
+        :meth:`Directory.fetch_raw` order.  The engine's per-miss path
+        uses this to skip two object constructions per transaction.
+        """
+        out = self.directory.fetch_raw(node, chunk, page, is_write,
                                        threshold, count_refetch, home=home)
         net = self.network
         lat = net.one_way(node, home, now)                  # request
         lat += self.memories[home].access(chunk, now + lat)  # home DRAM/dir
-        if outcome.forwarded:
+        if out[1]:  # forwarded
             # Home -> owner -> requester instead of home -> requester.
             self.three_hop_fetches += 1
             lat += net.one_way(home, node, now + lat)  # forward leg (approx: same cost class)
-            if not is_write and outcome.prev_owner >= 0:
-                self.demote_chunk(outcome.prev_owner, chunk)
+            prev_owner = out[4]
+            if not is_write and prev_owner >= 0:
+                self.demote_chunk(prev_owner, chunk)
         lat += net.one_way(home, node, now + lat)           # data response
-        if outcome.invalidations:
-            lat += self._invalidate_all(outcome.invalidations, chunk, home,
-                                        now + lat)
+        invalidations = out[2]
+        if invalidations:
+            lat += self._invalidate_all(invalidations, chunk, home, now + lat)
         self.remote_fetches += 1
-        return RemoteResult(lat, outcome)
+        return lat, out
 
     def _invalidate_all(self, sharers, chunk: int, origin: int,
                         now: int) -> int:
@@ -105,22 +119,28 @@ class CoherenceProtocol:
         chunk dirty, or sharers may need invalidating on a write), but
         the data normally comes from local DRAM.
         """
-        outcome = self.directory.fetch(node, chunk, page, is_write,
+        lat, out = self.local_fetch_raw(node, chunk, page, is_write, now)
+        return RemoteResult(lat, FetchOutcome(*out))
+
+    def local_fetch_raw(self, node: int, chunk: int, page: int,
+                        is_write: bool, now: int) -> tuple:
+        """:meth:`local_fetch` returning ``(latency, outcome_tuple)``."""
+        out = self.directory.fetch_raw(node, chunk, page, is_write,
                                        threshold=0, count_refetch=False,
                                        home=node)
         lat = self.memories[node].access(chunk, now)
-        net = self.network
-        if outcome.forwarded:
+        if out[1]:  # forwarded
             # Dirty at a remote node: full round trip to retrieve it.
             self.three_hop_fetches += 1
-            owner = outcome.prev_owner if outcome.prev_owner >= 0 else self._any_remote(node)
-            lat += net.round_trip(node, owner, now + lat)
-            if not is_write and outcome.prev_owner >= 0:
-                self.demote_chunk(outcome.prev_owner, chunk)
-        if outcome.invalidations:
-            lat += self._invalidate_all(outcome.invalidations, chunk, node,
-                                        now + lat)
-        return RemoteResult(lat, outcome)
+            prev_owner = out[4]
+            owner = prev_owner if prev_owner >= 0 else self._any_remote(node)
+            lat += self.network.round_trip(node, owner, now + lat)
+            if not is_write and prev_owner >= 0:
+                self.demote_chunk(prev_owner, chunk)
+        invalidations = out[2]
+        if invalidations:
+            lat += self._invalidate_all(invalidations, chunk, node, now + lat)
+        return lat, out
 
     def upgrade(self, node: int, chunk: int, page: int, home: int,
                 now: int) -> int:
@@ -129,17 +149,16 @@ class CoherenceProtocol:
         Returns the stall latency.  Counted separately from misses: the
         data is already local, only permission travels.
         """
-        outcome = self.directory.fetch(node, chunk, page, True,
+        out = self.directory.fetch_raw(node, chunk, page, True,
                                        threshold=0, count_refetch=False,
                                        home=home)
-        net = self.network
         if home == node:
             lat = 0
         else:
-            lat = net.round_trip(node, home, now)
-        if outcome.invalidations:
-            lat += self._invalidate_all(outcome.invalidations, chunk, home,
-                                        now + lat)
+            lat = self.network.round_trip(node, home, now)
+        invalidations = out[2]
+        if invalidations:
+            lat += self._invalidate_all(invalidations, chunk, home, now + lat)
         return lat
 
     def _any_remote(self, node: int) -> int:

@@ -8,6 +8,7 @@ Commands
 ``sweep APP``          pressure sweep for one app across architectures
 ``matrix``             the whole evaluation matrix, parallel + resumable
 ``claims``             run the paper-claim scorecard
+``bench``              run the repro.perf microbenchmark suite
 ``check APP ARCH``     one run under the online invariant checker
 ``hotpages APP ARCH``  hot-page report after one run
 ``analyze APP``        workload characterisation (tracestats)
@@ -62,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("app")
     p.add_argument("arch")
     p.add_argument("--pressure", type=float, default=0.7)
+    p.add_argument("--quantum", type=int, default=None,
+                   help="scheduling quantum in cycles (default: engine"
+                        " default; part of the result-store key)")
     p.add_argument("--check", action="store_true",
                    help="attach the online invariant checker"
                         " (bypasses the result store)")
@@ -79,11 +83,28 @@ def build_parser() -> argparse.ArgumentParser:
                         " at the CPU count)")
     p.add_argument("--retries", type=int, default=0,
                    help="per-cell retry attempts on failure")
+    p.add_argument("--quantum", type=int, default=None,
+                   help="scheduling quantum for every cell (default:"
+                        " engine default; part of the result-store key)")
     p.add_argument("--check", action="store_true",
                    help="attach the online invariant checker to every"
                         " cell (bypasses the result store)")
 
     sub.add_parser("claims", help="paper-claim scorecard")
+
+    p = sub.add_parser("bench",
+                       help="run the repro.perf microbenchmark suite")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="repeats per benchmark, best-of reported"
+                        " (default 3)")
+    p.add_argument("--only", default=None,
+                   help="run only benchmarks whose name contains this"
+                        " substring")
+    p.add_argument("--out", default=None, metavar="JSON",
+                   help="write the results as JSON (e.g. BENCH_pr3.json)")
+    p.add_argument("--baseline", default=None, metavar="JSON",
+                   help="previous BENCH_*.json: embed it and report"
+                        " speedups against it")
 
     p = sub.add_parser("check",
                        help="run one simulation under the online invariant"
@@ -138,7 +159,7 @@ def _cmd_figure(args) -> str:
 def _cmd_run(args) -> str:
     from .experiment import run_app
     result = run_app(args.app, args.arch, args.pressure, scale=args.scale,
-                     check=args.check)
+                     check=args.check, quantum=args.quantum)
     agg = result.aggregate()
     lines = [f"{args.app} / {result.architecture} at "
              f"{args.pressure:.0%} memory pressure:",
@@ -189,7 +210,7 @@ def _cmd_matrix(args):
         if app not in APP_PRESSURES:
             raise ValueError(f"unknown app {app!r};"
                              f" choose from {sorted(APP_PRESSURES)}")
-    specs = matrix_specs(apps, args.scale)
+    specs = matrix_specs(apps, args.scale, quantum=args.quantum)
     outcomes = execute(specs, parallel=not args.serial,
                        max_workers=args.workers, retries=args.retries,
                        progress=log_progress, check=args.check)
@@ -265,6 +286,25 @@ def _cmd_claims(args) -> str:
     return render_scorecard(validate_all(scale=args.scale))
 
 
+def _cmd_bench(args) -> str:
+    import json as _json
+    from ..perf import bench_payload, load_bench_json, run_suite
+    results = run_suite(repeats=args.repeats, only=args.only)
+    if not results:
+        raise ValueError(f"no benchmark matches {args.only!r}")
+    baseline = load_bench_json(args.baseline) if args.baseline else None
+    payload = bench_payload(results, baseline=baseline)
+    lines = [r.summary() for r in results]
+    for name, speedup in payload.get("speedup_vs_baseline", {}).items():
+        lines.append(f"{name}: {speedup:.2f}x vs baseline")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        lines.append(f"wrote {args.out}")
+    return "\n".join(lines)
+
+
 def _cmd_hotpages(args) -> str:
     from ..sim.config import SystemConfig
     from ..sim.engine import Engine
@@ -330,6 +370,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "matrix": _cmd_matrix,
     "claims": _cmd_claims,
+    "bench": _cmd_bench,
     "check": _cmd_check,
     "hotpages": _cmd_hotpages,
     "analyze": _cmd_analyze,

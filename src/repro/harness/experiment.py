@@ -78,7 +78,7 @@ def get_workload(app: str, scale: float = DEFAULT_SCALE) -> WorkloadTraces:
 
 def run_app(app: str, arch: str, pressure: float,
             scale: float = DEFAULT_SCALE, check: bool = False,
-            **policy_overrides) -> RunResult:
+            quantum: int | None = None, **policy_overrides) -> RunResult:
     """One cell of the evaluation matrix.
 
     Goes through the runtime layer: with an ambient
@@ -87,9 +87,11 @@ def run_app(app: str, arch: str, pressure: float,
     re-simulated.  Without one (the library/test default) this is a
     plain simulation, as before.  ``check=True`` attaches the online
     invariant checker and bypasses the store (see ``docs/invariants.md``).
+    ``quantum`` overrides the engine's scheduling quantum; it is part
+    of the spec, so distinct quanta occupy distinct store entries.
     """
     spec = RunSpec.make(app, arch, pressure, scale,
-                        policy_overrides=policy_overrides)
+                        policy_overrides=policy_overrides, quantum=quantum)
     return execute_spec(spec, check=check)
 
 

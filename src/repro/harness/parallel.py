@@ -55,24 +55,29 @@ def run_cells(cells: list[tuple], max_workers: int | None = None,
     return {cell: outcomes[spec] for cell, spec in zip(cells, specs)}
 
 
-def matrix_specs(apps=None, scale: float = 0.5) -> list[RunSpec]:
+def matrix_specs(apps=None, scale: float = 0.5,
+                 quantum: int | None = None) -> list[RunSpec]:
     """Every spec of the paper's evaluation matrix.
 
     CC-NUMA appears once per app (pressure-insensitive, simulated at
     the app's lowest pressure), the other architectures once per
-    (app, pressure) point.
+    (app, pressure) point.  A non-default *quantum* applies to every
+    cell and keys distinct store entries (quantum changes event
+    interleaving, so cached results must not be shared across quanta).
     """
     from .experiment import APP_PRESSURES, ARCHITECTURES
     apps = apps or tuple(APP_PRESSURES)
     specs = []
     for app in apps:
         pressures = APP_PRESSURES[app]
-        specs.append(RunSpec(app, "CCNUMA", pressures[0], scale))
+        specs.append(RunSpec(app, "CCNUMA", pressures[0], scale,
+                             quantum=quantum))
         for arch in ARCHITECTURES:
             if arch == "CCNUMA":
                 continue
             for pressure in pressures:
-                specs.append(RunSpec(app, arch, pressure, scale))
+                specs.append(RunSpec(app, arch, pressure, scale,
+                                     quantum=quantum))
     return specs
 
 

@@ -28,7 +28,7 @@ class Network:
 
     __slots__ = ("topology", "propagation", "fall_through", "port_occupancy",
                  "max_queue", "port_busy_until", "messages",
-                 "contended_messages", "total_queue_cycles")
+                 "contended_messages", "total_queue_cycles", "_base")
 
     def __init__(self, topology: Topology | None = None, n_nodes: int = 8,
                  propagation: int = 2, fall_through: int = 4,
@@ -49,14 +49,22 @@ class Network:
         self.messages = 0
         self.contended_messages = 0
         self.total_queue_cycles = 0
+        # Hop counts are a pure function of the (immutable) topology, so
+        # the contention-free one-way cost is precomputed per node pair.
+        # One hops() call at construction replaces one per message.
+        n = self.topology.n_nodes
+        self._base = [
+            [0 if s == d else propagation * self.topology.hops(s, d) + fall_through
+             for d in range(n)]
+            for s in range(n)
+        ]
 
     # ------------------------------------------------------------------
     def one_way(self, src: int, dst: int, now: int) -> int:
         """Latency of one message from *src* to *dst* departing at *now*."""
         if src == dst:
             return 0
-        hops = self.topology.hops(src, dst)
-        base = self.propagation * hops + self.fall_through
+        base = self._base[src][dst]
         arrival = now + base
         busy = self.port_busy_until[dst]
         queue = busy - arrival if busy > arrival else 0
@@ -77,9 +85,7 @@ class Network:
 
     def min_one_way(self, src: int, dst: int) -> int:
         """Contention-free one-way latency (for Table 4)."""
-        if src == dst:
-            return 0
-        return self.propagation * self.topology.hops(src, dst) + self.fall_through
+        return self._base[src][dst]
 
     def utilisation_stats(self) -> dict:
         return {

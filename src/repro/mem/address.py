@@ -17,7 +17,7 @@ page or line size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["AddressMap", "DEFAULT_PAGE_BYTES", "DEFAULT_LINE_BYTES", "DEFAULT_CHUNK_BYTES"]
 
@@ -39,11 +39,27 @@ class AddressMap:
 
     Parameters mirror Table 3 of the paper: 4 KiB pages, 32-byte L1
     lines, 128-byte DSM transfer chunks.
+
+    The derived geometry (``lines_per_page``, ``line_shift``, ...) is
+    precomputed once at construction: these values sit on the replay
+    engine's per-reference path, where recomputing them as properties
+    showed up as a measurable share of the interpreter loop (see
+    ``docs/performance.md``).  They are plain attributes, excluded from
+    the dataclass equality/hash, and always consistent with the three
+    size fields.
     """
 
     page_bytes: int = DEFAULT_PAGE_BYTES
     line_bytes: int = DEFAULT_LINE_BYTES
     chunk_bytes: int = DEFAULT_CHUNK_BYTES
+
+    #: log2(lines_per_page): shift converting line id -> page id.
+    line_shift: int = field(init=False, compare=False, repr=False)
+    #: log2(lines_per_chunk): shift converting line id -> chunk id.
+    chunk_shift: int = field(init=False, compare=False, repr=False)
+    lines_per_page: int = field(init=False, compare=False, repr=False)
+    lines_per_chunk: int = field(init=False, compare=False, repr=False)
+    chunks_per_page: int = field(init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         _log2_exact(self.page_bytes, "page_bytes")
@@ -53,29 +69,14 @@ class AddressMap:
             raise ValueError("chunk_bytes must be a multiple of line_bytes")
         if self.page_bytes % self.chunk_bytes:
             raise ValueError("page_bytes must be a multiple of chunk_bytes")
-
-    # -- derived geometry ------------------------------------------------
-    @property
-    def lines_per_page(self) -> int:
-        return self.page_bytes // self.line_bytes
-
-    @property
-    def lines_per_chunk(self) -> int:
-        return self.chunk_bytes // self.line_bytes
-
-    @property
-    def chunks_per_page(self) -> int:
-        return self.page_bytes // self.chunk_bytes
-
-    @property
-    def line_shift(self) -> int:
-        """log2(lines_per_page): shift converting line id -> page id."""
-        return _log2_exact(self.lines_per_page, "lines_per_page")
-
-    @property
-    def chunk_shift(self) -> int:
-        """log2(lines_per_chunk): shift converting line id -> chunk id."""
-        return _log2_exact(self.lines_per_chunk, "lines_per_chunk")
+        set_ = object.__setattr__
+        set_(self, "lines_per_page", self.page_bytes // self.line_bytes)
+        set_(self, "lines_per_chunk", self.chunk_bytes // self.line_bytes)
+        set_(self, "chunks_per_page", self.page_bytes // self.chunk_bytes)
+        set_(self, "line_shift",
+             _log2_exact(self.lines_per_page, "lines_per_page"))
+        set_(self, "chunk_shift",
+             _log2_exact(self.lines_per_chunk, "lines_per_chunk"))
 
     # -- conversions -----------------------------------------------------
     def line_id(self, page: int, line_in_page: int) -> int:

@@ -1,0 +1,189 @@
+"""The curated microbenchmark suite behind ``python -m repro bench``.
+
+Four benchmark families, chosen to bracket the simulator's cost
+structure (docs/performance.md):
+
+* ``single:<app>/<arch>`` -- one evaluation cell per architecture, so a
+  regression localised to one policy's code path is visible on its own;
+* ``matrix_micro`` -- a 10-cell slice of the evaluation matrix
+  (fft + em3d across all five architectures at 70% pressure); this is
+  the headline number and what ``BENCH_*.json`` speedups are quoted
+  against;
+* ``tracegen:<app>`` -- workload generation (numpy-vectorised, so it
+  regresses independently of the replay loop);
+* ``checker:<app>/<arch>`` -- a cell replayed under the online
+  invariant checker, pinning the checker-on overhead factor.
+
+Workload generation is hoisted out of every replay measurement (traces
+are cached and replayed many times in real sweeps), and engine benches
+construct a fresh :class:`Engine` per repeat so no directory/cache
+state leaks between repeats.  All benches run the store-free library
+path; the result store would otherwise turn repeats into disk reads.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+from ..harness.experiment import ARCHITECTURES, get_workload, scaled_policy
+from ..sim.config import SystemConfig
+from ..sim.engine import Engine
+from .timing import BenchResult, run_bench
+
+__all__ = ["MICRO_SCALE", "MATRIX_APPS", "MATRIX_PRESSURE", "MATRIX_CELLS",
+           "bench_single_cell", "bench_matrix_micro",
+           "bench_trace_generation", "bench_checker_overhead", "run_suite",
+           "bench_payload", "load_bench_json"]
+
+#: Workload scale all replay microbenchmarks run at: large enough that
+#: the inner loop dominates (~100k events per cell), small enough that
+#: the whole suite stays under a minute.
+MICRO_SCALE = 0.25
+
+#: The matrix micro slice: one RAC-friendly app (fft) and one
+#: RAC-hostile one (em3d) across every architecture, at the 70%
+#: pressure point where the page-management machinery is active.
+MATRIX_APPS = ("fft", "em3d")
+MATRIX_PRESSURE = 0.7
+MATRIX_CELLS = tuple((app, arch, MATRIX_PRESSURE)
+                     for app in MATRIX_APPS for arch in ARCHITECTURES)
+
+
+def _workload_events(wl) -> int:
+    return sum(len(t.kinds) for t in wl.traces)
+
+
+def _engine(wl, arch: str, pressure: float) -> Engine:
+    cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=pressure)
+    return Engine(wl, scaled_policy(arch), config=cfg)
+
+
+# ----------------------------------------------------------------------
+def bench_single_cell(arch: str, app: str = "fft",
+                      pressure: float = MATRIX_PRESSURE,
+                      scale: float = MICRO_SCALE,
+                      repeats: int = 3) -> BenchResult:
+    """Replay one evaluation cell under *arch*."""
+    wl = get_workload(app, scale)
+    events = _workload_events(wl)
+    return run_bench(
+        f"single:{app}/{arch}",
+        lambda: _engine(wl, arch, pressure).run(),
+        events, repeats,
+        meta={"app": app, "arch": arch, "pressure": pressure,
+              "scale": scale})
+
+
+def bench_matrix_micro(repeats: int = 3) -> BenchResult:
+    """The headline benchmark: replay the 10-cell matrix slice.
+
+    The cell set, scale and timing method are part of the benchmark's
+    identity -- committed ``BENCH_*.json`` numbers are only comparable
+    across versions because this definition does not move.
+    """
+    wls = {app: get_workload(app, MICRO_SCALE) for app in MATRIX_APPS}
+    events = sum(_workload_events(wls[app]) for app, _, _ in MATRIX_CELLS)
+
+    def once() -> None:
+        for app, arch, pr in MATRIX_CELLS:
+            _engine(wls[app], arch, pr).run()
+
+    return run_bench("matrix_micro", once, events, repeats,
+                     meta={"cells": len(MATRIX_CELLS), "apps": MATRIX_APPS,
+                           "pressure": MATRIX_PRESSURE, "scale": MICRO_SCALE})
+
+
+def bench_trace_generation(app: str = "em3d", scale: float = MICRO_SCALE,
+                           repeats: int = 3) -> BenchResult:
+    """Workload generation cost (bypasses the harness lru_cache)."""
+    from ..workloads import generate_workload
+    events = _workload_events(generate_workload(app, scale=scale))
+    return run_bench(
+        f"tracegen:{app}",
+        lambda: generate_workload(app, scale=scale),
+        events, repeats, meta={"app": app, "scale": scale})
+
+
+def bench_checker_overhead(app: str = "fft", arch: str = "ASCOMA",
+                           pressure: float = MATRIX_PRESSURE,
+                           scale: float = 0.1,
+                           repeats: int = 3) -> BenchResult:
+    """One cell under the online invariant checker (barrier sweeps).
+
+    Reported events/sec is the *checked* run; ``meta["overhead_x"]``
+    is its slowdown factor over the plain run of the same cell, which
+    is the number ``repro check`` users actually pay.
+    """
+    from ..check import InvariantChecker
+    wl = get_workload(app, scale)
+    events = _workload_events(wl)
+
+    def checked() -> None:
+        engine = _engine(wl, arch, pressure)
+        InvariantChecker.attach(engine, granularity="barrier")
+        engine.run()
+
+    plain = run_bench("_plain", lambda: _engine(wl, arch, pressure).run(),
+                      events, repeats)
+    result = run_bench(f"checker:{app}/{arch}", checked, events, repeats,
+                       meta={"app": app, "arch": arch, "pressure": pressure,
+                             "scale": scale, "granularity": "barrier"})
+    result.meta["plain_wall_s"] = round(plain.wall_s, 6)
+    result.meta["overhead_x"] = round(result.wall_s / plain.wall_s, 3)
+    return result
+
+
+def run_suite(repeats: int = 3, only: str | None = None) -> list[BenchResult]:
+    """Run the whole curated suite; *only* filters by name substring."""
+    benches = [
+        *(lambda a=arch: bench_single_cell(a, repeats=repeats)
+          for arch in ARCHITECTURES),
+        lambda: bench_matrix_micro(repeats=repeats),
+        lambda: bench_trace_generation(repeats=repeats),
+        lambda: bench_checker_overhead(repeats=repeats),
+    ]
+    names = [f"single:fft/{arch}" for arch in ARCHITECTURES]
+    names += ["matrix_micro", "tracegen:em3d", "checker:fft/ASCOMA"]
+    results = []
+    for name, bench in zip(names, benches):
+        if only and only not in name:
+            continue
+        results.append(bench())
+    return results
+
+
+# ----------------------------------------------------------------------
+def bench_payload(results: list[BenchResult],
+                  baseline: dict | None = None) -> dict:
+    """JSON-ready payload for a ``BENCH_*.json`` artifact.
+
+    With *baseline* (a previously emitted payload, or any dict with a
+    ``results`` list), the baseline is embedded verbatim and speedups
+    are computed for every benchmark present in both -- so the file
+    records the pre-change and post-change numbers side by side.
+    """
+    payload = {
+        "schema": 1,
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": [r.to_dict() for r in results],
+    }
+    if baseline is not None:
+        payload["baseline"] = baseline
+        base = {r["name"]: r for r in baseline.get("results", [])}
+        speedups = {}
+        for r in results:
+            b = base.get(r.name)
+            if b and b.get("events_per_sec"):
+                speedups[r.name] = round(
+                    r.events_per_sec / b["events_per_sec"], 3)
+        payload["speedup_vs_baseline"] = speedups
+    return payload
+
+
+def load_bench_json(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,108 @@
+"""Benchmark timing primitives: wall clock, throughput, peak RSS.
+
+Measurement policy (see docs/performance.md): wall time comes from
+``time.perf_counter``; each benchmark runs its body ``repeats`` times
+and reports the *best* wall time -- interpreter benchmarks are
+contaminated by one-sided noise (GC, scheduler preemption, cache
+warmup), so the minimum is the most repeatable estimator of the code's
+actual cost.  Peak RSS is the process high-water mark from
+``getrusage`` and is therefore monotone across benchmarks in one
+process; it bounds memory use, it does not attribute it.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "BenchResult", "peak_rss_kib", "run_bench"]
+
+
+def peak_rss_kib() -> int:
+    """Peak resident set size of this process in KiB.
+
+    ``ru_maxrss`` is KiB on Linux (bytes on macOS, where this will read
+    ~1000x high; the suite only compares like with like, so the unit
+    mismatch cannot flip a regression verdict on one platform).
+    """
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+class Timer:
+    """Wall-clock context manager: ``with Timer() as t: ...; t.wall_s``."""
+
+    __slots__ = ("wall_s", "_t0")
+
+    def __init__(self) -> None:
+        self.wall_s: float | None = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.wall_s = time.perf_counter() - self._t0
+        return False
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's outcome.
+
+    ``events`` is the work-unit count of a single repeat (replayed trace
+    events for engine benches, generated events for tracegen), so
+    ``events_per_sec`` is comparable across code versions as long as
+    the benchmark definition is unchanged.
+    """
+
+    name: str
+    wall_s: float
+    events: int
+    repeats: int
+    peak_rss_kib: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_s": round(self.wall_s, 6),
+            "events": self.events,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "repeats": self.repeats,
+            "peak_rss_kib": self.peak_rss_kib,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchResult":
+        return cls(name=data["name"], wall_s=data["wall_s"],
+                   events=data["events"], repeats=data.get("repeats", 1),
+                   peak_rss_kib=data.get("peak_rss_kib", 0),
+                   meta=data.get("meta", {}))
+
+    def summary(self) -> str:
+        return (f"{self.name:<24} {self.wall_s:8.3f}s "
+                f"{self.events_per_sec:>12,.0f} ev/s "
+                f"rss={self.peak_rss_kib // 1024} MiB")
+
+
+def run_bench(name: str, fn, events: int, repeats: int = 3,
+              meta: dict | None = None) -> BenchResult:
+    """Run *fn* ``repeats`` times; report best wall time and peak RSS."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    best = None
+    for _ in range(repeats):
+        with Timer() as t:
+            fn()
+        if best is None or t.wall_s < best:
+            best = t.wall_s
+    return BenchResult(name=name, wall_s=best, events=events,
+                       repeats=repeats, peak_rss_kib=peak_rss_kib(),
+                       meta=dict(meta or {}))

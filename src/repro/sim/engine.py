@@ -26,14 +26,36 @@ compute -> U_INSTR, private stalls -> U_LC_MEM, shared-reference stall
 time -> U_SH_MEM, kernel work -> K_BASE or K_OVERHD, barrier waits ->
 SYNC.  Misses are simultaneously classified into HOME / SCOMA / RAC /
 COLD / CONF_CAPC, matching the right-hand charts of Figures 2-3.
+
+Fast path vs reference path
+---------------------------
+The engine carries two replay loops producing **bit-identical**
+:class:`RunResult`s (``tests/test_perf_parity.py`` enforces this for
+every architecture):
+
+* the **fast path** (default) inlines the direct-mapped L1 hit case
+  into the event loop, hoists per-event attribute lookups into locals,
+  replays cached list-form traces, and (optionally) memoizes each
+  node's page -> (mode, home) lookups, invalidated through the event
+  bus on every page-management transition;
+* the **reference path** (``REPRO_SLOW_PATH=1`` or ``slow_path=True``)
+  is the straightforward one-call-per-event loop the fast path was
+  derived from.  It is the escape hatch for debugging and the parity
+  oracle for every future hot-path change.
+
+See ``docs/performance.md`` for the measured speedups.
 """
 
 from __future__ import annotations
 
+import os
+import sys
+
 from ..core.policy import ArchitecturePolicy, RelocationDecision
 from ..kernel.vm import PageMode
 from .config import SystemConfig
-from .events import EV_BARRIER, EV_END, EV_FAULT, EV_MIGRATE
+from .events import (EV_BARRIER, EV_END, EV_EVICT, EV_FAULT, EV_MAP_SCOMA,
+                     EV_MIGRATE, EV_RELOCATE)
 from .machine import Machine
 from .stats import RunResult
 from .trace import EV_COMPUTE, EV_LOCAL, EV_WRITE, WorkloadTraces
@@ -43,6 +65,12 @@ __all__ = ["Engine", "simulate"]
 #: How far (cycles) one node may run ahead of the runner-up clock.
 DEFAULT_QUANTUM = 2000
 
+#: Event kinds after which a memoized page -> (mode, home) entry may be
+#: stale: page faults and S-COMA (un)mappings change the mode, home
+#: migration changes the home (for every node's view of the page).
+_MEMO_INVALIDATORS = frozenset(
+    {EV_FAULT, EV_MAP_SCOMA, EV_EVICT, EV_RELOCATE, EV_MIGRATE})
+
 
 class Engine:
     """One simulation run."""
@@ -51,7 +79,9 @@ class Engine:
                  config: SystemConfig | None = None,
                  quantum: int = DEFAULT_QUANTUM,
                  log_messages: bool = False,
-                 sampler=None) -> None:
+                 sampler=None,
+                 slow_path: bool | None = None,
+                 page_memo: bool | None = None) -> None:
         self.workload = workload
         #: Optional TimeSeriesSampler snapshotting policy state at every
         #: barrier release (see repro.sim.timeseries).
@@ -84,9 +114,264 @@ class Engine:
         #: Victim-mode RAC: fills from L1 evictions of remote lines,
         #: never from fetches (see SystemConfig.rac_fill_policy).
         self._rac_victim = self.config.rac_fill_policy == "victim"
+        #: Reference mode: one `_shared_ref` call per READ/WRITE event.
+        #: Selected per engine, or process-wide via REPRO_SLOW_PATH=1
+        #: (the escape hatch documented in docs/performance.md).
+        if slow_path is None:
+            slow_path = os.environ.get("REPRO_SLOW_PATH", "") not in ("", "0")
+        self.slow_path = slow_path
+        #: Per-node page -> (mode, home) memo, invalidated through the
+        #: event bus (_MEMO_INVALIDATORS).  Opt-in: subscribing the
+        #: invalidation observer makes every page-management publish
+        #: construct an event, which costs more than the memo saves on
+        #: the curated workloads (see docs/performance.md) -- but it
+        #: wins when lookups dominate, e.g. page-table-heavy configs.
+        if page_memo is None:
+            page_memo = False
+        self._memo = None
+        if page_memo:
+            self._memo = [{} for _ in range(self.config.n_nodes)]
+            self._events.subscribe(self._invalidate_memo)
+        # Hot-path constants and stable sub-object aliases, hoisted once
+        # so `_shared_ref` never re-walks attribute chains per event.
+        # All aliased objects are created by Machine.__init__ and only
+        # ever mutated in place (never rebound) during a run.
+        amap = self.machine.amap
+        self._line_shift = amap.line_shift
+        self._chunk_shift = amap.chunk_shift
+        self._cpp_mask = amap.chunks_per_page - 1
+        self._hit_cycles = self.config.l1_hit_cycles
+        self._rac_cycles = self.config.rac_hit_cycles
+        self._dsm2 = 2 * self.config.dsm_processing_cycles
+        self._protocol = self.machine.protocol
+        self._buses = self.machine.buses
+        self._home = self.machine.allocator.home
+
+    # ------------------------------------------------------------------
+    def _invalidate_memo(self, event) -> None:
+        """Event-bus observer dropping stale page-lookup memo entries.
+
+        Mode transitions are per-node but a migration changes every
+        node's view of the page's home, so entries are dropped from all
+        nodes -- over-invalidation is always safe, and these events are
+        orders of magnitude rarer than lookups.
+        """
+        if event.kind in _MEMO_INVALIDATORS and event.page >= 0:
+            page = event.page
+            for memo in self._memo:
+                memo.pop(page, None)
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
+        clock = (self._run_reference() if self.slow_path
+                 else self._run_fast())
+
+        events = self._events
+        if events.observers:
+            events.clock = max(clock) if clock else 0
+            events.publish(EV_END, -1, -1)
+
+        machine = self.machine
+        extra = {
+            "utilisation": machine.utilisation_report(),
+            "page_cache_frames": machine.page_cache_frames(),
+            "protocol": {
+                "remote_fetches": machine.protocol.remote_fetches,
+                "three_hop": machine.protocol.three_hop_fetches,
+                "write_stalls": machine.protocol.write_stalls,
+            },
+        }
+        if self.checker is not None:
+            extra["invariant_violations"] = self.checker.violation_count()
+        return RunResult(
+            architecture=self.policy.name,
+            workload=self.workload.name,
+            pressure=self.config.memory_pressure,
+            node_stats=[nd.stats for nd in machine.nodes],
+            extra=extra,
+        )
+
+    # ------------------------------------------------------------------
+    def _release_barrier(self, nodes, clock, arrival, waiting, pos, end,
+                         finished, barrier_id) -> None:
+        """Release a full barrier: charge SYNC, align clocks, publish."""
+        n = len(nodes)
+        ids = {barrier_id[i] for i in range(n) if waiting[i]}
+        if len(ids) != 1:
+            raise RuntimeError(
+                f"barrier mismatch: nodes waiting at {sorted(ids)}")
+        release = max(arrival[i] for i in range(n) if waiting[i])
+        for i in range(n):
+            if waiting[i]:
+                nodes[i].stats.SYNC += release - arrival[i]
+                clock[i] = release
+                waiting[i] = False
+                if pos[i] >= end[i]:
+                    finished[i] = True
+        if self.sampler is not None:
+            self.sampler.sample(release, nodes)
+        events = self._events
+        if events.observers:
+            events.clock = release
+            events.publish(EV_BARRIER, -1, -1, barrier=ids.pop())
+
+    # ------------------------------------------------------------------
+    def _run_fast(self) -> list[int]:
+        """Optimised replay loop (the default).
+
+        Bit-identical to :meth:`_run_reference` -- every divergence is
+        a pure re-expression of the same arithmetic: the direct-mapped
+        L1 hit case is inlined (the tag probe is a pure compare, so the
+        fallback `_shared_ref` call re-probing on the remaining cases
+        sees identical state), per-event attribute chains are hoisted
+        to locals that alias the same mutable objects, and the
+        ``limit is None`` check is folded into a sentinel clock no run
+        can reach.
+        """
+        machine = self.machine
+        nodes = machine.nodes
+        n = len(nodes)
+        # Cached list-form traces: scalar list indexing beats numpy
+        # scalar indexing ~3x, and the cache amortises the conversion
+        # across the many runs of one workload in a matrix sweep.
+        kinds = []
+        args = []
+        for t in self.workload.traces:
+            k, a = t.as_lists()
+            kinds.append(k)
+            args.append(a)
+        pos = [0] * n
+        end = [len(k) for k in kinds]
+        clock = [0] * n
+        finished = [p >= e for p, e in zip(pos, end)]
+        waiting = [False] * n
+        barrier_id = [-1] * n
+        arrival = [0] * n
+        quantum = self.quantum
+        shared_ref = self._shared_ref
+        l1_direct = self._l1_direct
+        hit_cycles = self._hit_cycles
+        chunk_shift = self._chunk_shift
+        ev_write = EV_WRITE
+        ev_compute = EV_COMPUTE
+        ev_local = EV_LOCAL
+        no_limit = sys.maxsize  # clocks stay far below 2**63
+
+        while True:
+            # Pick the runnable node with the smallest clock.
+            best = -1
+            best_clock = None
+            runner_up = None
+            for i in range(n):
+                if finished[i] or waiting[i]:
+                    continue
+                c = clock[i]
+                if best_clock is None or c < best_clock:
+                    runner_up = best_clock
+                    best_clock = c
+                    best = i
+                elif runner_up is None or c < runner_up:
+                    runner_up = c
+            if best == -1:
+                if all(finished):
+                    break
+                raise RuntimeError("deadlock: all unfinished nodes are waiting"
+                                   " at a barrier that never released")
+            limit = (runner_up + quantum) if runner_up is not None else no_limit
+
+            node = nodes[best]
+            k = kinds[best]
+            a = args[best]
+            p = pos[best]
+            e = end[best]
+            now = clock[best]
+            stats = node.stats
+            node.run_daemon_if_due(now)
+
+            if l1_direct:
+                # Hot loop with the L1 hit case inlined.  `tags`/`dirty`
+                # alias the cache's own lists (mutated in place by fills
+                # and flushes, never rebound during a run).  Hits are
+                # tallied in a local and flushed once per slice: nothing
+                # reads `stats.l1_hits` mid-slice, and integer addition
+                # commutes with the `_shared_ref` increments.
+                l1 = node.l1
+                tags = l1.tags
+                dirty = l1.dirty
+                set_mask = l1.set_mask
+                owned = node.owned
+                hits = 0
+                while p < e and now < limit:
+                    ev = k[p]
+                    arg = a[p]
+                    p += 1
+                    if ev <= ev_write:  # READ or WRITE
+                        if tags[arg & set_mask] == arg:
+                            if ev != ev_write:
+                                hits += 1
+                                now += hit_cycles
+                                continue
+                            if (arg >> chunk_shift) in owned:
+                                hits += 1
+                                dirty[arg & set_mask] = True
+                                now += hit_cycles
+                                continue
+                        # Miss, or write hit needing an upgrade: the
+                        # full path re-probes (pure compare) and takes
+                        # the identical branch the reference path does.
+                        now += shared_ref(node, arg, ev == ev_write, now)
+                    elif ev == ev_compute:
+                        stats.U_INSTR += arg
+                        now += arg
+                    elif ev == ev_local:
+                        stats.U_LC_MEM += arg
+                        now += arg
+                    else:  # EV_BARRIER
+                        waiting[best] = True
+                        barrier_id[best] = arg
+                        arrival[best] = now
+                        break
+                if hits:
+                    stats.l1_hits += hits
+            else:
+                while p < e and now < limit:
+                    ev = k[p]
+                    arg = a[p]
+                    p += 1
+                    if ev <= ev_write:
+                        now += shared_ref(node, arg, ev == ev_write, now)
+                    elif ev == ev_compute:
+                        stats.U_INSTR += arg
+                        now += arg
+                    elif ev == ev_local:
+                        stats.U_LC_MEM += arg
+                        now += arg
+                    else:  # EV_BARRIER
+                        waiting[best] = True
+                        barrier_id[best] = arg
+                        arrival[best] = now
+                        break
+
+            pos[best] = p
+            clock[best] = now
+            if p >= e and not waiting[best]:
+                finished[best] = True
+
+            if waiting[best]:
+                # Release when every unfinished node is at the barrier.
+                if all(finished[i] or waiting[i] for i in range(n)):
+                    self._release_barrier(nodes, clock, arrival, waiting,
+                                          pos, end, finished, barrier_id)
+        return clock
+
+    # ------------------------------------------------------------------
+    def _run_reference(self) -> list[int]:
+        """Reference replay loop: one `_shared_ref` call per event.
+
+        This is the pre-optimisation engine, kept verbatim as the
+        parity oracle (`tests/test_perf_parity.py`) and as the
+        REPRO_SLOW_PATH=1 escape hatch.
+        """
         machine = self.machine
         nodes = machine.nodes
         n = len(nodes)
@@ -162,48 +447,9 @@ class Engine:
             if waiting[best]:
                 # Release when every unfinished node is at the barrier.
                 if all(finished[i] or waiting[i] for i in range(n)):
-                    ids = {barrier_id[i] for i in range(n) if waiting[i]}
-                    if len(ids) != 1:
-                        raise RuntimeError(
-                            f"barrier mismatch: nodes waiting at {sorted(ids)}")
-                    release = max(arrival[i] for i in range(n) if waiting[i])
-                    for i in range(n):
-                        if waiting[i]:
-                            nodes[i].stats.SYNC += release - arrival[i]
-                            clock[i] = release
-                            waiting[i] = False
-                            if pos[i] >= end[i]:
-                                finished[i] = True
-                    if self.sampler is not None:
-                        self.sampler.sample(release, nodes)
-                    events = self._events
-                    if events.observers:
-                        events.clock = release
-                        events.publish(EV_BARRIER, -1, -1, barrier=ids.pop())
-
-        events = self._events
-        if events.observers:
-            events.clock = max(clock) if clock else 0
-            events.publish(EV_END, -1, -1)
-
-        extra = {
-            "utilisation": machine.utilisation_report(),
-            "page_cache_frames": machine.page_cache_frames(),
-            "protocol": {
-                "remote_fetches": machine.protocol.remote_fetches,
-                "three_hop": machine.protocol.three_hop_fetches,
-                "write_stalls": machine.protocol.write_stalls,
-            },
-        }
-        if self.checker is not None:
-            extra["invariant_violations"] = self.checker.violation_count()
-        return RunResult(
-            architecture=self.policy.name,
-            workload=self.workload.name,
-            pressure=self.config.memory_pressure,
-            node_stats=[nd.stats for nd in nodes],
-            extra=extra,
-        )
+                    self._release_barrier(nodes, clock, arrival, waiting,
+                                          pos, end, finished, barrier_id)
+        return clock
 
     # ------------------------------------------------------------------
     def _shared_ref(self, node, line: int, is_write: bool, now: int) -> int:
@@ -211,11 +457,14 @@ class Engine:
 
         Updates the node's stats buckets in place (U_SH_MEM for stall
         time, K_BASE/K_OVERHD for kernel work triggered by the access).
+
+        Attribute chains are hoisted into locals / precomputed engine
+        attributes (`_hit_cycles`, `_home`, ...): this function *is* the
+        profile's hot spot, and both replay loops share it, so every
+        saved lookup is bit-identical by construction.
         """
-        config = self.config
         stats = node.stats
         l1 = node.l1
-        amap = node.amap
 
         # -- L1 probe (the overwhelmingly common case) -------------------
         if self._l1_direct:
@@ -225,93 +474,112 @@ class Engine:
         if hit:
             stats.l1_hits += 1
             if is_write:
-                chunk = line >> amap.chunk_shift
-                if chunk not in node.owned:
-                    page = line >> amap.line_shift
-                    home = self.machine.allocator.home[page]
+                chunk = line >> self._chunk_shift
+                owned = node.owned
+                if chunk not in owned:
+                    page = line >> self._line_shift
+                    home = self._home[page]
                     events = self._events
                     if events.observers:
                         events.clock = now
-                    lat = self.machine.protocol.upgrade(node.id, chunk, page,
-                                                        home, now)
-                    node.owned.add(chunk)
+                    lat = self._protocol.upgrade(node.id, chunk, page,
+                                                 home, now)
+                    owned.add(chunk)
                     stats.upgrades += 1
                     stats.U_SH_MEM += lat
                     l1.mark_dirty(line)
-                    return config.l1_hit_cycles + lat
+                    return self._hit_cycles + lat
                 l1.mark_dirty(line)
-            return config.l1_hit_cycles
+            return self._hit_cycles
 
         # -- L1 miss ------------------------------------------------------
         stats.l1_misses += 1
         events = self._events
         if events.observers:
             events.clock = now
-        page = line >> amap.line_shift
-        chunk = line >> amap.chunk_shift
+        page = line >> self._line_shift
+        chunk = line >> self._chunk_shift
         node.tlb.ref_bits[page] = True
+        nid = node.id
 
-        mode = node.page_table.mode.get(page, 0)
         kernel = 0
-        if mode == 0:  # UNMAPPED: first touch on this node
-            mode, kernel = self._page_fault(node, page, now)
+        memo = self._memo
+        if memo is not None:
+            node_memo = memo[nid]
+            cached = node_memo.get(page)
+            if cached is not None:
+                mode, home = cached
+            else:
+                mode = node.page_table.mode.get(page, 0)
+                if mode == 0:  # UNMAPPED: first touch on this node
+                    mode, kernel = self._page_fault(node, page, now)
+                # The fault (ours or an earlier node's) assigned a home.
+                home = self._home[page]
+                # Install *after* the fault event so the invalidation
+                # observer cannot wipe a just-created entry.
+                node_memo[page] = (mode, home)
+        else:
+            mode = node.page_table.mode.get(page, 0)
+            if mode == 0:  # UNMAPPED: first touch on this node
+                mode, kernel = self._page_fault(node, page, now)
+            home = self._home[page]
         now += kernel
 
-        bus_delay = self.machine.buses[node.id].transact(now)
-        lat = bus_delay
-        protocol = self.machine.protocol
+        lat = self._buses[nid].transact(now)
+        protocol = self._protocol
+        owned = node.owned
 
+        # Outcome tuples are in Directory.fetch_raw order:
+        # (refetch, forwarded, invalidations, relocation_hint,
+        #  prev_owner, exclusive).
         if mode == PageMode.HOME:
-            res = protocol.local_fetch(node.id, chunk, page, is_write, now + lat)
-            lat += res.latency
+            fetch_lat, out = protocol.local_fetch_raw(nid, chunk, page,
+                                                      is_write, now + lat)
+            lat += fetch_lat
             stats.HOME += 1
             stats.HOME_LAT += lat
-            if is_write or res.outcome.exclusive:
-                node.owned.add(chunk)
+            if is_write or out[5]:
+                owned.add(chunk)
         elif mode == PageMode.SCOMA:
-            cip = (line >> amap.chunk_shift) & (amap.chunks_per_page - 1)
+            cip = chunk & self._cpp_mask
             if node.page_table.scoma_valid[page] >> cip & 1:
                 lat += node.memory.access(chunk, now + lat)
                 stats.SCOMA += 1
                 node.pagecache_hits[page] += 1
                 stats.SCOMA_LAT += lat
-                if is_write and chunk not in node.owned:
-                    home = self.machine.allocator.home[page]
-                    lat += protocol.upgrade(node.id, chunk, page, home, now + lat)
-                    node.owned.add(chunk)
+                if is_write and chunk not in owned:
+                    lat += protocol.upgrade(nid, chunk, page, home, now + lat)
+                    owned.add(chunk)
                     stats.upgrades += 1
             else:
-                home = self.machine.allocator.home[page]
-                res = protocol.remote_fetch(node.id, chunk, page, home,
-                                            is_write, 0, now + lat,
-                                            count_refetch=False)
-                lat += 2 * config.dsm_processing_cycles + res.latency
+                fetch_lat, out = protocol.remote_fetch_raw(
+                    nid, chunk, page, home, is_write, 0, now + lat,
+                    count_refetch=False)
+                lat += self._dsm2 + fetch_lat
                 node.page_table.set_chunk_valid(page, cip)
-                self._classify_remote(node, chunk, res.outcome.refetch, lat)
-                if is_write or res.outcome.exclusive:
-                    node.owned.add(chunk)
+                self._classify_remote(node, chunk, out[0], lat)
+                if is_write or out[5]:
+                    owned.add(chunk)
         else:  # PageMode.CCNUMA
             if node.rac.lookup(line if self._rac_victim else chunk):
-                lat += config.rac_hit_cycles
+                lat += self._rac_cycles
                 stats.RAC += 1
                 stats.RAC_LAT += lat
-                if is_write and chunk not in node.owned:
-                    home = self.machine.allocator.home[page]
-                    lat += protocol.upgrade(node.id, chunk, page, home, now + lat)
-                    node.owned.add(chunk)
+                if is_write and chunk not in owned:
+                    lat += protocol.upgrade(nid, chunk, page, home, now + lat)
+                    owned.add(chunk)
                     stats.upgrades += 1
             else:
-                home = self.machine.allocator.home[page]
                 threshold = node.policy_state.effective_threshold()
-                res = protocol.remote_fetch(node.id, chunk, page, home,
-                                            is_write, threshold, now + lat)
-                lat += 2 * config.dsm_processing_cycles + res.latency
+                fetch_lat, out = protocol.remote_fetch_raw(
+                    nid, chunk, page, home, is_write, threshold, now + lat)
+                lat += self._dsm2 + fetch_lat
                 if not self._rac_victim:
                     node.rac.fill(chunk)
-                self._classify_remote(node, chunk, res.outcome.refetch, lat)
-                if is_write or res.outcome.exclusive:
-                    node.owned.add(chunk)
-                if res.outcome.relocation_hint:
+                self._classify_remote(node, chunk, out[0], lat)
+                if is_write or out[5]:
+                    owned.add(chunk)
+                if out[3]:  # relocation hint
                     # Fill the L1 *before* the relocation interrupt: the
                     # access completed first, and the remap's page flush
                     # must also purge this line, or a stale copy would
@@ -322,7 +590,10 @@ class Engine:
                     stats.U_SH_MEM += lat
                     return kernel + lat
 
-        self._l1_fill(node, line, is_write)
+        if self._rac_victim:
+            self._l1_fill(node, line, is_write)
+        else:
+            l1.fill(line, is_write)
         stats.U_SH_MEM += lat
         return kernel + lat
 
@@ -331,7 +602,7 @@ class Engine:
         lines drop into the RAC (VC-NUMA's actual hardware)."""
         victim = node.l1.fill(line, dirty=is_write)
         if self._rac_victim and victim != -1:
-            vpage = victim >> node.amap.line_shift
+            vpage = victim >> self._line_shift
             if node.page_table.mode.get(vpage, 0) == PageMode.CCNUMA:
                 node.rac.fill(victim)
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = ["EV_READ", "EV_WRITE", "EV_COMPUTE", "EV_LOCAL", "EV_BARRIER",
-           "Trace", "TraceBuilder", "WorkloadTraces"]
+           "Trace", "TraceBuilder", "WorkloadTraces", "coalesce_events"]
 
 EV_READ = 0
 EV_WRITE = 1
@@ -38,16 +38,74 @@ _EVENT_NAMES = {EV_READ: "READ", EV_WRITE: "WRITE", EV_COMPUTE: "COMPUTE",
 _MAGIC = b"ASCT1\n"
 
 
-class Trace:
-    """Immutable event sequence for one node."""
+def coalesce_events(kinds: np.ndarray,
+                    args: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Merge adjacent same-kind ``COMPUTE``/``LOCAL`` runs.
 
-    __slots__ = ("kinds", "args")
+    A run of k consecutive ``EV_COMPUTE`` (or ``EV_LOCAL``) events
+    collapses into one event whose arg is the run's cycle sum.  Shared
+    references and barriers are never touched, and the relative order
+    of all surviving events is preserved, so per-node cycle totals,
+    stats buckets and barrier alignment are unchanged -- the property
+    ``tests/test_generator_properties.py`` pins down.  Fewer events
+    means fewer interpreter iterations in the replay engine.
+    """
+    if kinds.shape != args.shape:
+        raise ValueError("kinds/args length mismatch")
+    n = len(kinds)
+    if n == 0:
+        return kinds, args
+    mergeable = (kinds == EV_COMPUTE) | (kinds == EV_LOCAL)
+    # Event i merges into its predecessor iff same kind and mergeable.
+    merge = (kinds[1:] == kinds[:-1]) & mergeable[1:]
+    if not merge.any():
+        return kinds, args
+    keep = np.concatenate([[True], ~merge])
+    group = np.cumsum(keep) - 1  # output index of each input event
+    out_args = np.zeros(int(keep.sum()), dtype=np.int64)
+    np.add.at(out_args, group, np.asarray(args, dtype=np.int64))
+    # Non-mergeable kinds are always singleton groups, so the group sum
+    # is their own arg (barrier ids and line ids survive untouched).
+    return kinds[keep], out_args
+
+
+class Trace:
+    """Immutable event sequence for one node.
+
+    The replay engine consumes the plain-list form (:meth:`as_lists`),
+    which is computed once and cached: scalar indexing of Python lists
+    is ~3x faster than numpy scalar indexing, and the evaluation matrix
+    replays the same (cached) workload under many architectures.
+    """
+
+    __slots__ = ("kinds", "args", "_kinds_list", "_args_list")
 
     def __init__(self, kinds: np.ndarray, args: np.ndarray) -> None:
         if kinds.shape != args.shape:
             raise ValueError("kinds/args length mismatch")
         self.kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
         self.args = np.ascontiguousarray(args, dtype=np.int64)
+        self._kinds_list: list[int] | None = None
+        self._args_list: list[int] | None = None
+
+    def as_lists(self) -> tuple[list[int], list[int]]:
+        """Cached ``(kinds, args)`` as plain Python lists (read-only)."""
+        if self._kinds_list is None:
+            self._kinds_list = self.kinds.tolist()
+            self._args_list = self.args.tolist()
+        return self._kinds_list, self._args_list
+
+    def coalesced(self) -> "Trace":
+        """This trace with adjacent COMPUTE/LOCAL runs merged.
+
+        Returns ``self`` when there is nothing to merge (the common
+        case for the built-in generators, which interleave compute
+        markers between reference bursts).
+        """
+        kinds, args = coalesce_events(self.kinds, self.args)
+        if kinds is self.kinds:
+            return self
+        return Trace(kinds, args)
 
     def __len__(self) -> int:
         return len(self.kinds)
@@ -114,9 +172,18 @@ class TraceBuilder:
         self._kinds.extend(np.where(writes, EV_WRITE, EV_READ).tolist())
         self._args.extend(np.asarray(lines, dtype=np.int64).tolist())
 
-    def build(self) -> Trace:
-        return Trace(np.array(self._kinds, dtype=np.uint8),
-                     np.array(self._args, dtype=np.int64))
+    def build(self, coalesce: bool = False) -> Trace:
+        """Freeze into a :class:`Trace`.
+
+        ``coalesce=True`` merges adjacent same-kind COMPUTE/LOCAL runs
+        (see :func:`coalesce_events`) -- the generators pass it so
+        replay never pays for split cycle bursts.
+        """
+        kinds = np.array(self._kinds, dtype=np.uint8)
+        args = np.array(self._args, dtype=np.int64)
+        if coalesce:
+            kinds, args = coalesce_events(kinds, args)
+        return Trace(kinds, args)
 
     def __len__(self) -> int:
         return len(self._kinds)

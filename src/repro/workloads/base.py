@@ -254,7 +254,9 @@ class SyntheticGenerator:
                             scatter=False, line_repeats=spec.line_repeats)
                 builder.local(spec.local_cycles_per_sweep)
                 builder.barrier(sweep + 1)
-            traces.append(builder.build())
+            # Coalescing merges any adjacent COMPUTE/LOCAL runs so the
+            # replay engine never iterates over split cycle bursts.
+            traces.append(builder.build(coalesce=True))
 
         return WorkloadTraces(
             name=spec.name,

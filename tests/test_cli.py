@@ -33,6 +33,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_quantum_flag(self):
+        args = build_parser().parse_args(["run", "fft", "ascoma"])
+        assert args.quantum is None  # engine default, hashes like the seed
+        args = build_parser().parse_args(
+            ["run", "fft", "ascoma", "--quantum", "500"])
+        assert args.quantum == 500
+        args = build_parser().parse_args(["matrix", "--quantum", "500"])
+        assert args.quantum == 500
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.repeats == 3
+        assert args.only is None and args.out is None and args.baseline is None
+
 
 class TestCommands:
     def test_table_1_static(self, capsys):
@@ -99,6 +113,51 @@ class TestCommands:
         assert main(["claims"]) == 0
         out = capsys.readouterr().out
         assert "1/1 claims reproduced" in out
+
+
+class TestBenchCommand:
+    def test_bench_writes_json(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--only", "tracegen", "--repeats", "1",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "tracegen:em3d" in out and "ev/s" in out
+        import json
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == 1
+        (entry,) = payload["results"]
+        assert entry["name"] == "tracegen:em3d"
+        assert entry["events_per_sec"] > 0
+
+    def test_bench_with_baseline_reports_speedup(self, capsys, tmp_path):
+        base = tmp_path / "base.json"
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--only", "tracegen", "--repeats", "1",
+                     "--out", str(base)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--only", "tracegen", "--repeats", "1",
+                     "--baseline", str(base), "--out", str(out_path)]) == 0
+        assert "x vs baseline" in capsys.readouterr().out
+        import json
+        payload = json.loads(out_path.read_text())
+        assert "tracegen:em3d" in payload["speedup_vs_baseline"]
+        assert payload["baseline"] == json.loads(base.read_text())
+
+    def test_bench_unknown_filter_fails_cleanly(self, capsys):
+        assert main(["bench", "--only", "no-such-bench"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_quantum_changes_the_run(self, capsys):
+        base = ["--scale", "0.1", "--no-cache", "run", "radix", "ascoma",
+                "--pressure", "0.7"]
+        assert main(base) == 0
+        default = capsys.readouterr().out
+        assert main(base + ["--quantum", "50"]) == 0
+        tight = capsys.readouterr().out
+        # A 40x tighter quantum reorders cross-node events enough to
+        # move the counters; identical output would mean the flag is
+        # not reaching the engine.
+        assert tight != default
 
 
 class TestMatrixCommand:

@@ -4,7 +4,8 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.mem.address import AddressMap
-from repro.sim.trace import EV_BARRIER, EV_COMPUTE, EV_LOCAL, EV_READ, EV_WRITE
+from repro.sim.trace import (EV_BARRIER, EV_COMPUTE, EV_LOCAL, EV_READ,
+                             EV_WRITE, Trace, WorkloadTraces, coalesce_events)
 from repro.workloads.base import SyntheticGenerator, WorkloadSpec
 
 LPP = AddressMap().lines_per_page
@@ -81,6 +82,111 @@ class TestGeneratedWorkloads:
             if expected > 0.2:
                 assert measured >= expected / 3
 
+MERGEABLE = (EV_COMPUTE, EV_LOCAL)
+
+#: Arbitrary raw event streams (not necessarily replayable): the
+#: coalescer's contract is purely structural, so it must hold for any
+#: well-formed (kinds, args) pair, not just generator output.
+raw_events = st.lists(
+    st.one_of(
+        st.tuples(st.sampled_from([EV_READ, EV_WRITE]), st.integers(0, 512)),
+        st.tuples(st.sampled_from(list(MERGEABLE)), st.integers(1, 64)),
+        st.tuples(st.just(EV_BARRIER), st.integers(0, 8)),
+    ),
+    max_size=200,
+)
+
+
+def to_arrays(events):
+    kinds = np.array([k for k, _ in events], dtype=np.uint8)
+    args = np.array([a for _, a in events], dtype=np.int64)
+    return kinds, args
+
+
+def split_bursts(kinds, args, seed):
+    """Inverse-ish of coalescing: split cycle bursts into adjacent runs."""
+    rng = np.random.default_rng(seed)
+    out_k, out_a = [], []
+    for k, a in zip(kinds.tolist(), args.tolist()):
+        if k in MERGEABLE and a >= 2 and rng.random() < 0.7:
+            cut = int(rng.integers(1, a))
+            out_k += [k, k]
+            out_a += [cut, a - cut]
+        else:
+            out_k.append(k)
+            out_a.append(a)
+    return np.array(out_k, dtype=np.uint8), np.array(out_a, dtype=np.int64)
+
+
+class TestCoalescing:
+    @given(raw_events)
+    @settings(max_examples=60, deadline=None)
+    def test_structural_invariants(self, events):
+        kinds, args = to_arrays(events)
+        ck, ca = coalesce_events(kinds, args)
+        # Per-kind cycle totals are preserved (so U_INSTR / U_LC_MEM
+        # accounting cannot move), and so are reference/barrier counts.
+        for kind in (EV_COMPUTE, EV_LOCAL):
+            assert ca[ck == kind].sum() == args[kinds == kind].sum()
+        # The non-mergeable subsequence (refs + barriers) is untouched,
+        # in order -- coalescing cannot reorder or absorb a shared
+        # reference, so barrier alignment across nodes is preserved.
+        keep = ~np.isin(kinds, MERGEABLE)
+        ckeep = ~np.isin(ck, MERGEABLE)
+        assert np.array_equal(kinds[keep], ck[ckeep])
+        assert np.array_equal(args[keep], ca[ckeep])
+        # Nothing mergeable remains adjacent.
+        same = (ck[1:] == ck[:-1]) & np.isin(ck[1:], MERGEABLE)
+        assert not same.any()
+        # Idempotence: a second pass is the identity.
+        ck2, ca2 = coalesce_events(ck, ca)
+        assert np.array_equal(ck, ck2) and np.array_equal(ca, ca2)
+
+    @given(spec_params, st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_coalesce_inverts_burst_splitting(self, params, seed):
+        """Generator output is already coalesced, so splitting its
+        bursts and re-coalescing must reconstruct it exactly."""
+        trace = build(params).traces[0]
+        sk, sa = split_bursts(trace.kinds, trace.args, seed)
+        ck, ca = coalesce_events(sk, sa)
+        assert np.array_equal(ck, trace.kinds)
+        assert np.array_equal(ca, trace.args)
+
+    @given(spec_params, st.integers(0, 2**20))
+    @settings(max_examples=8, deadline=None)
+    def test_replay_invariant_under_coalescing(self, params, seed):
+        """Replay is bit-identical across coalescing, given a quantum
+        larger than any trace's total cycles.
+
+        Under such a quantum every node runs straight to each barrier,
+        so event *boundaries* inside a cycle burst are unobservable and
+        only the (preserved) cycle sums matter.  Arbitrary quanta can
+        legitimately shift the cross-node interleaving -- slice limits
+        are checked per event -- which is why the generators coalesce
+        at build time, not at replay time.
+        """
+        from repro.core import make_policy
+        from repro.sim.config import SystemConfig
+        from repro.sim.engine import Engine
+
+        wl = build(params)
+        split = WorkloadTraces(
+            wl.name,
+            [Trace(*split_bursts(t.kinds, t.args, seed + i))
+             for i, t in enumerate(wl.traces)],
+            wl.home_pages_per_node, wl.total_shared_pages)
+        cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=0.7)
+
+        def replay(workload):
+            policy = make_policy("ascoma", threshold=4, increment=2)
+            return Engine(workload, policy, config=cfg,
+                          quantum=10**9).run().to_dict()
+
+        assert replay(split) == replay(wl)
+
+
+class TestReplayability:
     @given(spec_params)
     @settings(max_examples=20, deadline=None)
     def test_replayable_without_error(self, params):

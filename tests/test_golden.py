@@ -32,8 +32,7 @@ FIELDS = ("total_cycles", "shared_misses", "HOME", "SCOMA", "RAC", "COLD",
           "CONF_CAPC", "relocations", "evictions", "K_OVERHD")
 
 
-@pytest.mark.parametrize("key", sorted(GOLDEN))
-def test_golden_counters(key):
+def _check_golden(key):
     app, arch, pressure = key
     agg = run_app(app, arch, pressure, scale=0.25).aggregate()
     measured = (agg.total_cycles(), agg.shared_misses(), agg.HOME, agg.SCOMA,
@@ -43,3 +42,23 @@ def test_golden_counters(key):
     diffs = {field: (m, e) for field, m, e in
              zip(FIELDS, measured, expected) if m != e}
     assert not diffs, f"golden drift for {key}: {diffs}"
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_golden_counters(key):
+    """The pins, replayed through the default (fast-path) engine."""
+    _check_golden(key)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_golden_counters_reference_path(key, monkeypatch):
+    """The same pins through the pre-optimization reference loop.
+
+    Together with ``test_golden_counters`` this nails both replay loops
+    to the *same* seed-era numbers -- the goldens predate the fast
+    path, so neither loop may have drifted from the original model
+    (tests/test_perf_parity.py checks the loops against each other;
+    this checks them against history).
+    """
+    monkeypatch.setenv("REPRO_SLOW_PATH", "1")
+    _check_golden(key)

@@ -1,0 +1,90 @@
+"""Replay parity: the fast path must be bit-identical to the reference.
+
+The engine carries two replay loops (see the module docstring of
+``repro.sim.engine``): the optimized fast path that ships by default,
+and the straightforward reference loop it was derived from, selectable
+via ``Engine(slow_path=True)`` or ``REPRO_SLOW_PATH=1``.  Every
+optimization is required to be a *bit-identical* transformation, so
+these tests compare complete ``RunResult.to_dict()`` payloads -- every
+node's every stats bucket, miss-class counter and clock -- across
+every architecture, two workloads with different locality profiles,
+and two memory-pressure regimes.
+
+If one of these fails after an engine change, the fast path has
+diverged from the model: fix the fast path (or fold the change into
+``_shared_ref``, which both loops share), never the reference loop.
+"""
+
+import pytest
+
+from repro.harness.experiment import ARCHITECTURES, get_workload, scaled_policy
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+
+SCALE = 0.1
+#: fft is RAC/home-friendly, radix is eviction- and relocation-heavy;
+#: 0.3 vs 0.9 pressure flips the page cache between roomy and thrashing.
+APPS = ("fft", "radix")
+PRESSURES = (0.3, 0.9)
+
+CELLS = [(app, arch, pressure)
+         for app in APPS for arch in ARCHITECTURES for pressure in PRESSURES]
+
+
+def run_cell(app, arch, pressure, *, config_kwargs=None, **engine_kwargs):
+    wl = get_workload(app, SCALE)
+    cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=pressure,
+                       **(config_kwargs or {}))
+    engine = Engine(wl, scaled_policy(arch), config=cfg, **engine_kwargs)
+    return engine.run().to_dict()
+
+
+class TestFastPathParity:
+    @pytest.mark.parametrize("app,arch,pressure", CELLS)
+    def test_fast_matches_reference(self, app, arch, pressure):
+        fast = run_cell(app, arch, pressure)
+        reference = run_cell(app, arch, pressure, slow_path=True)
+        assert fast == reference
+
+    @pytest.mark.parametrize("arch", ARCHITECTURES)
+    def test_page_memo_matches_reference(self, arch):
+        """The opt-in page memo must also be invisible in the results.
+
+        radix at high pressure exercises every memo invalidator:
+        faults, S-COMA (un)mappings, evictions, relocations, migration.
+        """
+        memo = run_cell("radix", arch, 0.9, page_memo=True)
+        reference = run_cell("radix", arch, 0.9, slow_path=True)
+        assert memo == reference
+
+    @pytest.mark.parametrize("arch", ("CCNUMA", "ASCOMA"))
+    def test_associative_l1_parity(self, arch):
+        """l1_ways=2 disables the inlined direct-mapped tag compare, so
+        this covers the lookup()-based branch of both loops."""
+        cfg = {"l1_ways": 2}
+        fast = run_cell("fft", arch, 0.7, config_kwargs=cfg)
+        reference = run_cell("fft", arch, 0.7, config_kwargs=cfg,
+                             slow_path=True)
+        assert fast == reference
+
+
+class TestSlowPathSelection:
+    def _engine(self, **kwargs):
+        wl = get_workload("fft", SCALE)
+        cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=0.5)
+        return Engine(wl, scaled_policy("ASCOMA"), config=cfg, **kwargs)
+
+    def test_default_is_fast_path(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOW_PATH", raising=False)
+        assert self._engine().slow_path is False
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("yes", True), ("0", False), ("", False),
+    ])
+    def test_env_var_selects_reference(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_SLOW_PATH", value)
+        assert self._engine().slow_path is expected
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_PATH", "1")
+        assert self._engine(slow_path=False).slow_path is False

@@ -48,6 +48,20 @@ class TestRunSpec:
                 for p in (0.1, 0.5, 0.9) for s in (0.1, 0.5)}
         assert len(seen) == 6
 
+    def test_distinct_quanta_distinct_store_keys(self, tmp_path):
+        """The quantum changes event interleaving, so cached results
+        must not be shared across quanta (the PR-1 cache-collision
+        fix): distinct quanta hash -- and therefore store -- apart."""
+        default = RunSpec.make("fft", "ASCOMA", 0.5, SCALE)
+        q500 = RunSpec.make("fft", "ASCOMA", 0.5, SCALE, quantum=500)
+        q900 = RunSpec.make("fft", "ASCOMA", 0.5, SCALE, quantum=900)
+        assert len({s.spec_hash() for s in (default, q500, q900)}) == 3
+        store = RunStore(tmp_path)
+        store.put(q500, q500.execute())
+        assert q500 in store
+        assert default not in store  # a hit here would replay the wrong run
+        assert q900 not in store
+
     def test_dict_roundtrip(self):
         spec = RunSpec.make("lu", "vcnuma", 0.9, 0.25,
                             policy_overrides={"threshold": 8},
