@@ -1,13 +1,17 @@
 """Continuous-benchmark regression gate against the committed baseline.
 
-Compares a fresh run of the headline ``matrix_micro`` benchmark (and a
-cheap sanity subset of the rest of the suite) against the numbers
-committed in ``BENCH_pr3.json`` at the repo root, and fails on a >20%
-events/sec drop.  Hardware differences between the committing machine
-and the test machine are real, so the gate is deliberately loose -- it
-exists to catch order-of-magnitude interpreter-loop regressions (an
-accidentally disabled fast path, a per-event allocation creeping back
-in), not single-digit noise.
+Compares fresh runs of the headline benchmarks -- ``matrix_micro``
+(one-cell replay throughput) and ``matrix_e2e`` (the full 90-cell
+parallel matrix) -- against the numbers committed in ``BENCH_pr4.json``
+at the repo root, and fails on a >20% events/sec drop.  Hardware
+differences between the committing machine and the test machine are
+real, so the gate is deliberately loose -- it exists to catch
+order-of-magnitude regressions (an accidentally disabled fast path, a
+per-event allocation creeping back in, the trace cache silently
+missing), not single-digit noise.  Two hardware-independent
+self-checks back it up: the fast path must outrun the reference loop,
+and a trace-cache hit must beat regeneration, both measured in the
+same process.
 
 Opt-in: wall-clock assertions are inherently flaky on loaded CI
 runners, so these tests skip unless ``REPRO_PERF=1`` is set::
@@ -26,7 +30,7 @@ import pytest
 
 from repro.perf import bench_matrix_micro, load_bench_json
 
-BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
 
 #: Fail below this fraction of the committed throughput.
 FLOOR = 0.8
@@ -48,15 +52,43 @@ def committed() -> dict:
 
 def test_matrix_micro_throughput(committed):
     base = committed.get("matrix_micro")
-    assert base, "BENCH_pr3.json has no matrix_micro entry"
+    assert base, f"{BENCH_JSON.name} has no matrix_micro entry"
     fresh = bench_matrix_micro(repeats=3)
     # Same benchmark definition, or the comparison is meaningless.
     assert fresh.events == base["events"], (
-        "matrix_micro workload changed; regenerate BENCH_pr3.json")
+        f"matrix_micro workload changed; regenerate {BENCH_JSON.name}")
     floor = FLOOR * base["events_per_sec"]
     assert fresh.events_per_sec >= floor, (
         f"matrix_micro regressed: {fresh.events_per_sec:,.0f} ev/s is below "
         f"{FLOOR:.0%} of the committed {base['events_per_sec']:,.0f} ev/s")
+
+
+def test_matrix_e2e_throughput(committed):
+    """End-to-end gate: trace cache + dispatch + engine, all at once."""
+    from repro.perf import bench_matrix_e2e
+
+    base = committed.get("matrix_e2e")
+    assert base, f"{BENCH_JSON.name} has no matrix_e2e entry"
+    fresh = bench_matrix_e2e(repeats=2)
+    assert fresh.events == base["events"], (
+        f"matrix_e2e cell set changed; regenerate {BENCH_JSON.name}")
+    floor = FLOOR * base["events_per_sec"]
+    assert fresh.events_per_sec >= floor, (
+        f"matrix_e2e regressed: {fresh.events_per_sec:,.0f} ev/s is below "
+        f"{FLOOR:.0%} of the committed {base['events_per_sec']:,.0f} ev/s")
+
+
+def test_trace_cache_beats_regeneration():
+    """Hardware-independent self-check of the tracegen_cached claim: a
+    cache hit must be cheaper than regenerating the workload, measured
+    in the same process (the cold wall is recorded in the bench's own
+    meta)."""
+    from repro.perf import bench_trace_generation_cached
+
+    result = bench_trace_generation_cached("em3d", repeats=3)
+    assert result.meta["speedup_x"] > 1.0, (
+        f"trace-cache hit ({result.wall_s:.4f}s) is not faster than cold "
+        f"generation ({result.meta['cold_wall_s']:.4f}s)")
 
 
 def test_fast_path_beats_reference(committed):

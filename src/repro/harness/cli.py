@@ -12,7 +12,8 @@ Commands
 ``check APP ARCH``     one run under the online invariant checker
 ``hotpages APP ARCH``  hot-page report after one run
 ``analyze APP``        workload characterisation (tracestats)
-``store ACTION``       inspect/clear the result store (info|list|clear)
+``store ACTION``       inspect/clear the result and trace stores
+                       (info|list|clear|trace-info|trace-list|trace-clear)
 
 Every command accepts ``--scale`` (workload scale, default 0.5).
 
@@ -25,6 +26,14 @@ so re-rendering a table or figure is a disk read, not a re-simulation.
 ``--no-cache`` disables the store for one invocation; ``--refresh``
 re-simulates and overwrites cached cells.  ``repro store clear`` wipes
 the cache; see ``docs/runtime.md`` for the invalidation rules.
+
+Generated workload traces are cached the same way under
+``--trace-dir`` (default ``results/traces``, or ``$REPRO_TRACE_DIR``),
+so a fresh invocation loads each workload from disk instead of
+regenerating it and warm pool workers share one copy per process.
+``--no-trace-cache`` disables the trace store for one invocation;
+``repro store trace-clear`` wipes it.  Trace entries invalidate
+automatically on :data:`~repro.sim.trace.TRACE_FORMAT_VERSION` bumps.
 """
 
 from __future__ import annotations
@@ -51,6 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
                                                "results/store"),
                         help="result store directory"
                              " (default results/store or $REPRO_STORE_DIR)")
+    parser.add_argument("--no-trace-cache", action="store_true",
+                        help="disable the on-disk workload trace cache")
+    parser.add_argument("--trace-dir",
+                        default=os.environ.get("REPRO_TRACE_DIR",
+                                               "results/traces"),
+                        help="workload trace cache directory"
+                             " (default results/traces or $REPRO_TRACE_DIR)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("table", help="regenerate a paper table")
@@ -134,8 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="characterise a workload")
     p.add_argument("app")
 
-    p = sub.add_parser("store", help="inspect or clear the result store")
-    p.add_argument("action", choices=("info", "list", "clear"))
+    p = sub.add_parser("store",
+                       help="inspect or clear the result / trace stores")
+    p.add_argument("action", choices=("info", "list", "clear", "trace-info",
+                                      "trace-list", "trace-clear"))
     return parser
 
 
@@ -340,6 +358,8 @@ def _cmd_analyze(args) -> str:
 
 def _cmd_store(args) -> str:
     from ..runtime import RunStore, get_default_store
+    if args.action.startswith("trace-"):
+        return _cmd_trace_store(args)
     store = get_default_store() or RunStore(args.store_dir)
     if args.action == "clear":
         removed = store.clear()
@@ -354,6 +374,32 @@ def _cmd_store(args) -> str:
             lines.append(f"  {entry['spec_hash']}  {spec.get('app')}"
                          f"/{spec.get('arch')}@{spec.get('pressure')}"
                          f" x{spec.get('scale')}")
+        return "\n".join(lines)
+    info = store.describe()
+    session = info.pop("session")
+    lines = [f"{key}: {value}" for key, value in info.items()]
+    lines.append("session: " + ", ".join(f"{k}={v}"
+                                         for k, v in session.items()))
+    return "\n".join(lines)
+
+
+def _cmd_trace_store(args) -> str:
+    from ..runtime import TraceStore, get_default_trace_store
+    store = get_default_trace_store() or TraceStore(args.trace_dir)
+    if args.action == "trace-clear":
+        removed = store.clear()
+        return f"removed {removed} trace artifact(s) from {store.root}"
+    if args.action == "trace-list":
+        entries = store.entries()
+        if not entries:
+            return f"trace store at {store.root} is empty"
+        lines = [f"trace store at {store.root}: {len(entries)} artifact(s)"]
+        for entry in entries:
+            lines.append(f"  {entry['file']}  {entry['name']}"
+                         f" ({entry['n_nodes']} nodes,"
+                         f" {entry['events']:,} events,"
+                         f" {entry['bytes']:,} bytes,"
+                         f" hash {entry['content_hash']})")
         return "\n".join(lines)
     info = store.describe()
     session = info.pop("session")
@@ -380,10 +426,13 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    from ..runtime import RunStore, use_store
+    from ..runtime import RunStore, TraceStore, use_store, use_trace_store
     store = None if args.no_cache else RunStore(args.store_dir)
+    trace_store = (None if args.no_trace_cache
+                   else TraceStore(args.trace_dir))
     try:
-        with use_store(store, refresh=args.refresh):
+        with use_store(store, refresh=args.refresh), \
+                use_trace_store(trace_store):
             output = _COMMANDS[args.command](args)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -5,8 +5,11 @@ fans them out over a process pool via the runtime executor
 (:mod:`repro.runtime.executor`).  Cells are canonical
 :class:`~repro.runtime.spec.RunSpec` values — the legacy
 ``(app, arch, pressure, scale)`` tuple API is kept as a thin adapter —
-so workers regenerate workloads locally (traces are deterministic;
-shipping them through pickle would cost more than regenerating).
+and workers resolve workloads through the trace cache
+(:mod:`repro.runtime.tracecache`): forked workers inherit the parent's
+pre-warmed traces, spawn workers hit the on-disk store, and only a
+cold cache pays for deterministic regeneration (shipping traces
+through pickle would cost more than either).
 
 Executor guarantees inherited here: duplicate cells are simulated once
 and fanned back out; a failing cell comes back as a
@@ -84,12 +87,14 @@ def matrix_specs(apps=None, scale: float = 0.5,
 def run_matrix_parallel(apps=None, scale: float = 0.5,
                         max_workers: int | None = None, *, store=None,
                         refresh: bool | None = None, retries: int = 0,
-                        progress=None, strict: bool = True) -> dict:
+                        progress=None, strict: bool = True,
+                        quantum: int | None = None) -> dict:
     """The paper's whole matrix, fanned out: {app: {(arch, p): result}}.
 
     CC-NUMA runs once per app (pressure-insensitive) under the key
     ``("CCNUMA", None)``, as in
-    :func:`repro.harness.experiment.run_pressure_sweep`.  With
+    :func:`repro.harness.experiment.run_pressure_sweep`.  A non-default
+    *quantum* reaches every cell (the CLI's ``--quantum``).  With
     ``strict=True`` (default) any failed cell raises a RuntimeError
     naming the failing specs; ``strict=False`` instead includes the
     :class:`RunFailure` objects in the mapping for the caller to
@@ -97,7 +102,7 @@ def run_matrix_parallel(apps=None, scale: float = 0.5,
     """
     from .experiment import APP_PRESSURES
     apps = apps or tuple(APP_PRESSURES)
-    specs = matrix_specs(apps, scale)
+    specs = matrix_specs(apps, scale, quantum=quantum)
     outcomes = execute(specs, store=store, refresh=refresh,
                        max_workers=max_workers, retries=retries,
                        progress=progress)

@@ -16,10 +16,11 @@ optimisation the suite measures is pinned bit-identical to the
 reference replay path by ``tests/test_perf_parity.py``.
 """
 
-from .suite import (MATRIX_CELLS, MICRO_SCALE, bench_checker_overhead,
+from .suite import (ALL_APPS, E2E_SCALE, MATRIX_CELLS, MICRO_SCALE,
+                    bench_checker_overhead, bench_matrix_e2e,
                     bench_matrix_micro, bench_single_cell,
-                    bench_trace_generation, bench_payload, load_bench_json,
-                    run_suite)
+                    bench_trace_generation, bench_trace_generation_cached,
+                    bench_payload, load_bench_json, run_suite)
 from .timing import BenchResult, Timer, peak_rss_kib, run_bench
 
 __all__ = [
@@ -27,11 +28,15 @@ __all__ = [
     "BenchResult",
     "peak_rss_kib",
     "run_bench",
+    "ALL_APPS",
+    "E2E_SCALE",
     "MICRO_SCALE",
     "MATRIX_CELLS",
     "bench_single_cell",
     "bench_matrix_micro",
+    "bench_matrix_e2e",
     "bench_trace_generation",
+    "bench_trace_generation_cached",
     "bench_checker_overhead",
     "run_suite",
     "bench_payload",

@@ -1,6 +1,6 @@
 """The curated microbenchmark suite behind ``python -m repro bench``.
 
-Four benchmark families, chosen to bracket the simulator's cost
+Six benchmark families, chosen to bracket the simulator's cost
 structure (docs/performance.md):
 
 * ``single:<app>/<arch>`` -- one evaluation cell per architecture, so a
@@ -9,8 +9,13 @@ structure (docs/performance.md):
   (fft + em3d across all five architectures at 70% pressure); this is
   the headline number and what ``BENCH_*.json`` speedups are quoted
   against;
-* ``tracegen:<app>`` -- workload generation (numpy-vectorised, so it
-  regresses independently of the replay loop);
+* ``matrix_e2e`` -- the full 90-cell parallel matrix through the
+  runtime executor, new dispatch (trace cache + warm workers + LPT)
+  versus the preserved legacy pool path;
+* ``tracegen:<app>`` -- workload generation for each of the six apps
+  (numpy-vectorised, so it regresses independently of the replay loop);
+* ``tracegen_cached:<app>`` -- the same workload served from the trace
+  cache, with the cold generation time and speedup in ``meta``;
 * ``checker:<app>/<arch>`` -- a cell replayed under the online
   invariant checker, pinning the checker-on overhead factor.
 
@@ -24,23 +29,37 @@ path; the result store would otherwise turn repeats into disk reads.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import tempfile
 import time
 
-from ..harness.experiment import ARCHITECTURES, get_workload, scaled_policy
+from ..harness.experiment import (APP_PRESSURES, ARCHITECTURES, get_workload,
+                                  scaled_policy)
 from ..sim.config import SystemConfig
 from ..sim.engine import Engine
 from .timing import BenchResult, run_bench
 
-__all__ = ["MICRO_SCALE", "MATRIX_APPS", "MATRIX_PRESSURE", "MATRIX_CELLS",
-           "bench_single_cell", "bench_matrix_micro",
-           "bench_trace_generation", "bench_checker_overhead", "run_suite",
+__all__ = ["MICRO_SCALE", "E2E_SCALE", "ALL_APPS", "MATRIX_APPS",
+           "MATRIX_PRESSURE", "MATRIX_CELLS",
+           "bench_single_cell", "bench_matrix_micro", "bench_matrix_e2e",
+           "bench_trace_generation", "bench_trace_generation_cached",
+           "bench_checker_overhead", "run_suite",
            "bench_payload", "load_bench_json"]
 
 #: Workload scale all replay microbenchmarks run at: large enough that
 #: the inner loop dominates (~100k events per cell), small enough that
 #: the whole suite stays under a minute.
 MICRO_SCALE = 0.25
+
+#: Scale of the end-to-end matrix benchmark.  The generators' size
+#: floors mean the full matrix costs nearly the same wall time from
+#: 0.05 to 0.25, so the smallest round scale keeps the benchmark
+#: representative without inflating the suite.
+E2E_SCALE = 0.1
+
+#: Every paper application, in matrix order.
+ALL_APPS = tuple(APP_PRESSURES)
 
 #: The matrix micro slice: one RAC-friendly app (fft) and one
 #: RAC-hostile one (em3d) across every architecture, at the 70%
@@ -106,6 +125,94 @@ def bench_trace_generation(app: str = "em3d", scale: float = MICRO_SCALE,
         events, repeats, meta={"app": app, "scale": scale})
 
 
+def bench_trace_generation_cached(app: str = "em3d",
+                                  scale: float = MICRO_SCALE,
+                                  repeats: int = 3) -> BenchResult:
+    """Trace-cache hit vs cold generation for one workload.
+
+    Times a :class:`~repro.runtime.tracecache.TraceStore` disk hit
+    (keying + binary load + array reconstruction) against regenerating
+    the same workload; ``meta["cold_wall_s"]``/``meta["speedup_x"]``
+    record the cold time and the factor -- the per-workload saving
+    every fresh CLI invocation or spawn worker banks.
+    """
+    from ..runtime.tracecache import TraceStore
+    from ..workloads import generate_workload
+
+    wl = generate_workload(app, scale=scale)
+    events = _workload_events(wl)
+    cold = run_bench("_cold", lambda: generate_workload(app, scale=scale),
+                     events, repeats)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore(tmp)
+        store.put(app, scale, wl)
+        result = run_bench(f"tracegen_cached:{app}",
+                           lambda: store.get(app, scale),
+                           events, repeats,
+                           meta={"app": app, "scale": scale})
+    result.meta["cold_wall_s"] = round(cold.wall_s, 6)
+    result.meta["speedup_x"] = round(cold.wall_s / result.wall_s, 3)
+    return result
+
+
+def bench_matrix_e2e(repeats: int = 2, scale: float = E2E_SCALE) -> BenchResult:
+    """The full 90-cell parallel matrix: new dispatch vs legacy pool.
+
+    Each timed run models a fresh CLI invocation by dropping the
+    process-level workload caches first.  The legacy run then behaves
+    exactly like the pre-trace-cache executor (cold pool, submission
+    order, ``chunksize=1``, workloads regenerated in-process); the new
+    run resolves workloads from a pre-populated
+    :class:`~repro.runtime.tracecache.TraceStore` and dispatches
+    pre-warmed, costliest-first, in chunks.  Both paths bypass the
+    result store so every repeat simulates every cell.
+
+    ``meta`` records the legacy wall time, the speedup factor and the
+    host's CPU count: the dispatch-level win grows with worker count,
+    while on a single-CPU host both paths are replay-bound and the
+    factor sits near 1.0.
+    """
+    from ..harness.parallel import matrix_specs
+    from ..runtime import execute, use_trace_store
+    from ..runtime.tracecache import TraceStore, clear_trace_memo, fetch_traces
+
+    specs = matrix_specs(scale=scale)
+    apps = tuple(dict.fromkeys(s.app for s in specs))
+    events_of = {app: _workload_events(get_workload(app, scale))
+                 for app in apps}
+    events = sum(events_of[s.app] for s in specs)
+
+    def cold_process_caches() -> None:
+        clear_trace_memo()
+        get_workload.cache_clear()
+
+    def legacy_run() -> None:
+        cold_process_caches()
+        with use_trace_store(None):
+            execute(specs, store=None, parallel=True, legacy_pool=True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_store = TraceStore(tmp)
+        with use_trace_store(trace_store):
+            for app in apps:
+                fetch_traces(app, scale)  # pre-populate the cache
+
+        def new_run() -> None:
+            cold_process_caches()
+            with use_trace_store(trace_store):
+                execute(specs, store=None, parallel=True)
+
+        legacy = run_bench("_legacy", legacy_run, events, repeats)
+        result = run_bench("matrix_e2e", new_run, events, repeats,
+                           meta={"cells": len(specs), "scale": scale,
+                                 "apps": apps})
+    cold_process_caches()
+    result.meta["legacy_wall_s"] = round(legacy.wall_s, 6)
+    result.meta["speedup_x"] = round(legacy.wall_s / result.wall_s, 3)
+    result.meta["cpu_count"] = os.cpu_count()
+    return result
+
+
 def bench_checker_overhead(app: str = "fft", arch: str = "ASCOMA",
                            pressure: float = MATRIX_PRESSURE,
                            scale: float = 0.1,
@@ -136,16 +243,28 @@ def bench_checker_overhead(app: str = "fft", arch: str = "ASCOMA",
 
 
 def run_suite(repeats: int = 3, only: str | None = None) -> list[BenchResult]:
-    """Run the whole curated suite; *only* filters by name substring."""
+    """Run the whole curated suite; *only* filters by name substring.
+
+    ``matrix_e2e`` is capped at best-of-2: it simulates 90 cells twice
+    per repeat (new + legacy path), so letting it scale with *repeats*
+    would dominate the suite's runtime.
+    """
     benches = [
         *(lambda a=arch: bench_single_cell(a, repeats=repeats)
           for arch in ARCHITECTURES),
         lambda: bench_matrix_micro(repeats=repeats),
-        lambda: bench_trace_generation(repeats=repeats),
+        lambda: bench_matrix_e2e(repeats=min(repeats, 2)),
+        *(lambda a=app: bench_trace_generation(a, repeats=repeats)
+          for app in ALL_APPS),
+        *(lambda a=app: bench_trace_generation_cached(a, repeats=repeats)
+          for app in ALL_APPS),
         lambda: bench_checker_overhead(repeats=repeats),
     ]
     names = [f"single:fft/{arch}" for arch in ARCHITECTURES]
-    names += ["matrix_micro", "tracegen:em3d", "checker:fft/ASCOMA"]
+    names += ["matrix_micro", "matrix_e2e"]
+    names += [f"tracegen:{app}" for app in ALL_APPS]
+    names += [f"tracegen_cached:{app}" for app in ALL_APPS]
+    names += ["checker:fft/ASCOMA"]
     results = []
     for name, bench in zip(names, benches):
         if only and only not in name:

@@ -1,0 +1,104 @@
+"""Per-cell cost model for matrix scheduling.
+
+A matrix sweep's cells differ in cost by an order of magnitude: apps
+differ ~10x in trace event count (ocean vs fft at equal scale), and
+architectures differ a few percent in replay speed per event.  Naive
+FIFO dispatch therefore ends with one worker grinding a giant ocean
+cell while the rest idle.  This module estimates each
+:class:`~repro.runtime.spec.RunSpec`'s cost as
+
+    ``trace event count  x  per-architecture weight``
+
+and orders dispatch longest-first (LPT — longest processing time —
+the classic 4/3-approximation for makespan on identical machines).
+Chunked submission sizing lives here too, so pool IPC overhead and
+tail latency are traded off in one place.
+
+The architecture weights are *calibrated from measurement*, not
+guessed: ``BENCH_pr3.json``'s ``single:fft/<arch>`` benchmarks give
+events/second per architecture on the reference machine; the weight is
+each architecture's per-event time relative to ASCOMA.  The spread is
+small (~4%) because PR 3 flattened the replay fast path, but LPT only
+needs *ranks* to be right, and event counts dominate those.
+"""
+
+from __future__ import annotations
+
+from .spec import RunSpec, canonical_arch
+
+__all__ = ["ARCH_WEIGHTS", "DEFAULT_ARCH_WEIGHT", "workload_events",
+           "spec_cost", "lpt_order", "submit_chunksize"]
+
+#: Relative per-event replay time, ASCOMA = 1.0.  Derived from
+#: BENCH_pr3.json ``single:fft/*`` events/s (859544 / arch ev/s):
+#: CC-NUMA re-fetches remote lines forever under pressure, so it pays
+#: the most per event; the page-caching architectures are cheaper.
+ARCH_WEIGHTS = {
+    "CCNUMA": 1.037,
+    "SCOMA": 1.015,
+    "RNUMA": 1.027,
+    "VCNUMA": 1.003,
+    "ASCOMA": 1.000,
+}
+
+#: Unknown architectures (tests, experiments) assume mid-pack cost.
+DEFAULT_ARCH_WEIGHT = 1.02
+
+
+def workload_events(app: str, scale: float) -> int:
+    """Total trace events of one workload (all nodes).
+
+    Routed through :func:`~repro.runtime.tracecache.fetch_traces`, so
+    asking for the count *is* the pre-warm: the parent process pays
+    generation (or a cache hit) once, and forked pool workers inherit
+    the in-memory traces for free.
+    """
+    from .tracecache import fetch_traces
+
+    traces = fetch_traces(app, scale)
+    return sum(len(t) for t in traces.traces)
+
+
+def spec_cost(spec: RunSpec, events: int | None = None) -> float:
+    """Estimated replay cost of one cell, in weighted events.
+
+    *events* is the workload's total event count; ``None`` looks it up
+    (generating or cache-hitting the trace as a side effect).
+    """
+    if events is None:
+        events = workload_events(spec.app, spec.scale)
+    weight = ARCH_WEIGHTS.get(canonical_arch(spec.arch), DEFAULT_ARCH_WEIGHT)
+    return events * weight
+
+
+def lpt_order(specs, events_of=None) -> list:
+    """Specs sorted costliest-first (LPT dispatch order).
+
+    *events_of* maps ``(app, scale) -> event count``; missing entries
+    (e.g. a spec whose workload failed to generate — it will fail
+    identically in the worker, where the failure is isolated) cost 0
+    and sort last.  The sort is stable, so equal-cost cells keep their
+    submission order and reruns dispatch identically.
+    """
+    events_of = events_of or {}
+
+    def cost(spec: RunSpec) -> float:
+        events = events_of.get((spec.app, spec.scale))
+        return spec_cost(spec, events) if events is not None else 0.0
+
+    return sorted(specs, key=cost, reverse=True)
+
+
+def submit_chunksize(n_tasks: int, workers: int,
+                     chunks_per_worker: int = 4) -> int:
+    """Chunk size for ``pool.map``: fewer pickles, bounded imbalance.
+
+    ``chunksize=1`` (the default) costs one IPC round-trip per cell; one
+    giant chunk per worker forfeits the load balancing LPT set up.
+    Giving each worker ~``chunks_per_worker`` chunks keeps per-cell IPC
+    amortised while capping the imbalance any single chunk can cause at
+    ~1/chunks_per_worker of a worker's share.
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    return max(1, n_tasks // (workers * chunks_per_worker))

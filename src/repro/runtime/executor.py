@@ -15,6 +15,18 @@ claims, benchmarks) funnels through.  Guarantees:
 * **Optional retry** — transient failures can be retried per cell.
 * **Progress** — an optional callback sees one event per cell
   (``"hit" | "run" | "fail"``); :func:`log_progress` prints them.
+
+Matrix-throughput machinery (PR 4): before dispatching, the parent
+pre-warms each distinct ``(app, scale)`` workload through the trace
+cache — forked workers inherit the traces, and on spawn platforms the
+pool *initializer* re-installs the ambient
+:class:`~repro.runtime.tracecache.TraceStore` and pre-imports the
+simulator so a worker's first cell pays no import/generation cost.
+Cells dispatch costliest-first (LPT, see :mod:`repro.runtime.costs`)
+in chunks sized to amortise pickle round-trips.  Setting
+``REPRO_LEGACY_POOL=1`` (or ``legacy_pool=True``) restores the
+pre-PR 4 dispatch — cold workers, submission order, ``chunksize=1`` —
+which is what the ``matrix_e2e`` benchmark compares against.
 """
 
 from __future__ import annotations
@@ -25,8 +37,10 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor
 
 from ..sim.stats import RunResult
+from .costs import lpt_order, submit_chunksize
 from .spec import RunFailure, RunSpec
 from .store import get_default_refresh, get_default_store
+from .tracecache import get_default_trace_store
 
 __all__ = ["execute", "execute_spec", "run_spec", "log_progress"]
 
@@ -51,6 +65,44 @@ def _pool_worker(payload: tuple) -> RunResult | RunFailure:
     return run_spec(spec, retries, check)
 
 
+def _pool_init(trace_root: str | None) -> None:
+    """Warm a pool worker before it sees its first cell.
+
+    Pre-imports the simulator stack (a no-op under fork, real work
+    under spawn) and installs the ambient trace store so every
+    :meth:`RunSpec.execute` in this worker resolves workloads through
+    the cache instead of regenerating them.
+    """
+    import repro.coherence.protocol  # noqa: F401
+    import repro.harness.experiment  # noqa: F401
+    import repro.sim.engine  # noqa: F401
+
+    if trace_root is not None:
+        from .tracecache import TraceStore, set_default_trace_store
+
+        set_default_trace_store(TraceStore(trace_root))
+
+
+def _prewarm(specs) -> dict:
+    """Resolve every distinct workload once in the parent process.
+
+    Returns ``(app, scale) -> total event count`` for the cost model.
+    Forked workers inherit the warmed traces (and the per-process memo)
+    for free.  A workload whose generation raises is skipped — the same
+    failure reproduces inside :func:`run_spec`, where it is isolated
+    into a :class:`RunFailure` instead of killing the sweep.
+    """
+    from .costs import workload_events
+
+    events_of: dict = {}
+    for key in dict.fromkeys((s.app, s.scale) for s in specs):
+        try:
+            events_of[key] = workload_events(*key)
+        except Exception:  # noqa: BLE001 - fault isolation happens per cell
+            pass
+    return events_of
+
+
 def log_progress(event: str, spec: RunSpec, detail: str = "",
                  stream=None) -> None:
     """Default progress callback: one stderr line per cell."""
@@ -64,7 +116,8 @@ def log_progress(event: str, spec: RunSpec, detail: str = "",
 
 def execute(specs, *, store=None, refresh: bool | None = None,
             parallel: bool = True, max_workers: int | None = None,
-            retries: int = 0, progress=None, check: bool = False) -> dict:
+            retries: int = 0, progress=None, check: bool = False,
+            legacy_pool: bool = False) -> dict:
     """Run many specs; returns ``{spec: RunResult | RunFailure}``.
 
     *store* defaults to the ambient store (``None`` disables caching);
@@ -74,6 +127,13 @@ def execute(specs, *, store=None, refresh: bool | None = None,
     invariant checker to every cell and bypasses the store entirely
     (checked results carry extra fields and must not pollute the cache,
     and cached results carry no violation counts).
+
+    ``parallel=True`` pre-warms workloads, dispatches costliest-first
+    and chunks submissions (see the module docstring); when only one
+    worker would be used the pool is skipped entirely and cells run
+    inline — same results, none of the fork/pickle overhead.
+    ``legacy_pool=True`` (or ``REPRO_LEGACY_POOL=1``) restores the
+    pre-PR 4 cold-pool dispatch for benchmarking.
     """
     specs = list(specs)
     if check:
@@ -102,13 +162,30 @@ def execute(specs, *, store=None, refresh: bool | None = None,
             todo.append(spec)
 
     if todo:
-        if parallel and len(todo) > 1:
-            workers = max_workers or min(len(todo), os.cpu_count() or 2)
+        legacy_pool = legacy_pool or os.environ.get("REPRO_LEGACY_POOL") == "1"
+        workers = max_workers or min(len(todo), os.cpu_count() or 2)
+        if parallel and len(todo) > 1 and legacy_pool:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 outcomes = pool.map(_pool_worker,
                                     [(spec, retries, check) for spec in todo])
                 pairs = list(zip(todo, outcomes))
+        elif parallel and len(todo) > 1 and workers > 1:
+            events_of = _prewarm(todo)
+            ordered = lpt_order(todo, events_of)
+            trace_store = get_default_trace_store()
+            trace_root = str(trace_store.root) if trace_store else None
+            chunk = submit_chunksize(len(ordered), workers)
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=_pool_init,
+                                     initargs=(trace_root,)) as pool:
+                outcomes = pool.map(
+                    _pool_worker,
+                    [(spec, retries, check) for spec in ordered],
+                    chunksize=chunk)
+                pairs = list(zip(ordered, outcomes))
         else:
+            if parallel and len(todo) > 1:
+                _prewarm(todo)  # single worker: still warm the memo once
             pairs = [(spec, run_spec(spec, retries, check)) for spec in todo]
         for spec, outcome in pairs:
             results[spec] = outcome

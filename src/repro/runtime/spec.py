@@ -136,8 +136,8 @@ class RunSpec:
                 f"(x{self.scale:g}){extra}")
 
     # -- execution ------------------------------------------------------
-    def execute(self, check: bool = False) -> RunResult:
-        """Run this cell's simulation (no caching — see the executor).
+    def execute(self, check: bool = False, traces=None) -> RunResult:
+        """Run this cell's simulation (no result caching — see the executor).
 
         ``check=True`` attaches an online
         :class:`~repro.check.InvariantChecker` (barrier granularity);
@@ -145,14 +145,23 @@ class RunSpec:
         runtime mode, not part of the spec, so it never enters the
         content hash — checked runs bypass the result store instead.
 
+        *traces* short-circuits workload acquisition with an explicit
+        :class:`~repro.sim.trace.WorkloadTraces` (the caller vouches it
+        matches ``(app, scale)``); otherwise the trace cache resolves it
+        — per-process memo, then the ambient
+        :class:`~repro.runtime.tracecache.TraceStore` (if one is
+        installed), then deterministic regeneration.
+
         Imports are deferred so worker processes only pay for what they
         use and so ``repro.harness`` can import this module freely.
         """
-        from ..harness.experiment import get_workload, scaled_policy
+        from ..harness.experiment import scaled_policy
         from ..sim.config import SystemConfig
         from ..sim.engine import DEFAULT_QUANTUM, Engine
+        from .tracecache import fetch_traces
 
-        workload = get_workload(self.app, self.scale)
+        workload = traces if traces is not None else fetch_traces(
+            self.app, self.scale)
         cfg_kwargs = {"n_nodes": workload.n_nodes,
                       "memory_pressure": self.pressure}
         cfg_kwargs.update(dict(self.config_overrides))

@@ -1,0 +1,239 @@
+"""Content-addressed on-disk workload trace cache.
+
+The evaluation matrix replays each application's trace under ~15
+(architecture, pressure) cells, and every worker process of a matrix
+sweep — plus every fresh CLI invocation — used to regenerate those
+traces from scratch.  Generation is deterministic, so the traces are
+pure functions of their :class:`~repro.workloads.base.WorkloadSpec`;
+this module caches them the same way :class:`~repro.runtime.store.RunStore`
+caches results:
+
+* **Keying** — :func:`trace_key` hashes the canonical JSON of
+  ``(app, n_nodes, scale, WorkloadSpec fields, trace format version,
+  cache schema version)``.  Anything that could change the generated
+  arrays changes the key; bumping
+  :data:`~repro.sim.trace.TRACE_FORMAT_VERSION` orphans every entry.
+* **Artifacts** — one file per workload under ``results/traces/``, in
+  the existing ``_MAGIC`` binary format
+  (:meth:`~repro.sim.trace.WorkloadTraces.save`), written atomically so
+  concurrent matrix workers cannot tear an entry.
+* **Memo** — a per-process in-memory layer on top
+  (:func:`fetch_traces`), so a warm worker touches each workload once
+  per run no matter how many cells share it, and cells served from the
+  same process share one ``Trace`` object (and therefore one cached
+  list-form conversion) instead of one per cell.
+
+A corrupt, stale or foreign file is a *miss*, never an error: the
+workload is regenerated and the entry rewritten.  The cache changes
+*when* traces are built, never *what* is built — ``tests/test_tracecache.py``
+pins cached-vs-regenerated bit-identity.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..sim.trace import TRACE_FORMAT_VERSION, WorkloadTraces
+
+__all__ = ["TRACE_STORE_VERSION", "TraceStore", "trace_key", "fetch_traces",
+           "clear_trace_memo", "get_default_trace_store",
+           "set_default_trace_store", "use_trace_store"]
+
+#: Cache schema version (file naming / keying rules).  Bump when the
+#: keying scheme itself changes; old artifacts then stop matching.
+TRACE_STORE_VERSION = 1
+
+
+def trace_key(app: str, scale: float, **overrides) -> str:
+    """Stable 16-hex content key for one generated workload.
+
+    Covers the application name (which selects the generator class),
+    the paper node count, the scale, every
+    :class:`~repro.workloads.base.WorkloadSpec` field the generator
+    consumes, and the trace format + cache schema versions.
+    """
+    from ..workloads import workload_spec
+
+    spec = workload_spec(app, scale=scale, **overrides)
+    payload = {
+        "app": app,
+        "n_nodes": spec.n_nodes,
+        "scale": scale,
+        "spec": spec.canonical_dict(),
+        "format_version": TRACE_FORMAT_VERSION,
+        "store_version": TRACE_STORE_VERSION,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode())
+    return digest.hexdigest()[:16]
+
+
+class TraceStore:
+    """Content-addressed cache of generated workloads under one directory."""
+
+    def __init__(self, root: str | os.PathLike = "results/traces") -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- paths ----------------------------------------------------------
+    def path_for(self, app: str, scale: float, **overrides) -> Path:
+        return self.root / f"{app}-{trace_key(app, scale, **overrides)}.trace"
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, app: str, scale: float, **overrides) -> WorkloadTraces | None:
+        """Cached workload, or ``None`` (never raises on bad files).
+
+        A wrong magic, a stale format version, a truncated file or a
+        header naming a different application all read as a miss; the
+        caller regenerates and overwrites.
+        """
+        path = self.path_for(app, scale, **overrides)
+        try:
+            traces = WorkloadTraces.load(str(path))
+        except (OSError, ValueError, KeyError, EOFError, SyntaxError):
+            # SyntaxError: a truncated header fails ast.literal_eval.
+            self.misses += 1
+            return None
+        if traces.name != app:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return traces
+
+    def __contains__(self, key: tuple) -> bool:
+        app, scale = key
+        return self.path_for(app, scale).exists()
+
+    # -- update ---------------------------------------------------------
+    def put(self, app: str, scale: float, traces: WorkloadTraces,
+            **overrides) -> Path:
+        """Persist *traces* atomically (write temp file, then rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(app, scale, **overrides)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        os.close(fd)
+        try:
+            traces.save(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        self.writes += 1
+        return path
+
+    # -- maintenance ----------------------------------------------------
+    def entries(self) -> list[dict]:
+        """Summary of every readable artifact, sorted by file name."""
+        out = []
+        for path in sorted(self.root.glob("*.trace")):
+            try:
+                traces = WorkloadTraces.load(str(path))
+            except (OSError, ValueError, KeyError, EOFError, SyntaxError):
+                continue
+            out.append({
+                "file": path.name,
+                "name": traces.name,
+                "n_nodes": traces.n_nodes,
+                "events": sum(len(t) for t in traces.traces),
+                "content_hash": traces.content_hash(),
+                "bytes": path.stat().st_size,
+            })
+        return out
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.trace"):
+            with contextlib.suppress(OSError):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.glob("*.trace"))
+
+    def describe(self) -> dict:
+        n = len(list(self.root.glob("*.trace"))) if self.root.is_dir() else 0
+        return {"root": str(self.root), "entries": n,
+                "bytes": self.size_bytes() if n else 0,
+                "format_version": TRACE_FORMAT_VERSION,
+                "store_version": TRACE_STORE_VERSION,
+                "session": {"hits": self.hits, "misses": self.misses,
+                            "writes": self.writes}}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceStore({str(self.root)!r})"
+
+
+# -- per-process memo ---------------------------------------------------
+#: ``(app, scale, store root or None) -> WorkloadTraces``.  Keyed by the
+#: store identity so tests pointing at different cache directories never
+#: alias each other's entries.
+_memo: dict[tuple, WorkloadTraces] = {}
+
+
+def clear_trace_memo() -> None:
+    """Drop the per-process memo (tests and long-lived daemons)."""
+    _memo.clear()
+
+
+def fetch_traces(app: str, scale: float,
+                 store: "TraceStore | None" = None) -> WorkloadTraces:
+    """Memo -> trace store -> generator, in that order.
+
+    The one entry point the runtime layer uses for workload traces.
+    With *store* ``None`` the ambient store applies (``None`` ambient
+    means no disk caching — the library/test default); generation misses
+    are written back so the next process starts warm.
+    """
+    if store is None:
+        store = get_default_trace_store()
+    key = (app, scale, str(store.root) if store is not None else None)
+    traces = _memo.get(key)
+    if traces is not None:
+        return traces
+    if store is not None:
+        traces = store.get(app, scale)
+    if traces is None:
+        # get_workload's lru_cache is the generation-side memo, shared
+        # with direct harness callers (perf suite, tables, figures).
+        from ..harness.experiment import get_workload
+
+        traces = get_workload(app, scale)
+        if store is not None:
+            store.put(app, scale, traces)
+    _memo[key] = traces
+    return traces
+
+
+# -- ambient default ----------------------------------------------------
+_default_trace_store: TraceStore | None = None
+
+
+def get_default_trace_store() -> TraceStore | None:
+    return _default_trace_store
+
+
+def set_default_trace_store(store: TraceStore | None) -> None:
+    """Install the ambient trace store used when callers don't pass one."""
+    global _default_trace_store
+    _default_trace_store = store
+
+
+@contextlib.contextmanager
+def use_trace_store(store: TraceStore | None):
+    """Scoped ambient trace store: ``with use_trace_store(...): ...``."""
+    prev = _default_trace_store
+    set_default_trace_store(store)
+    try:
+        yield store
+    finally:
+        set_default_trace_store(prev)

@@ -227,10 +227,47 @@ class Engine:
         to locals that alias the same mutable objects, and the
         ``limit is None`` check is folded into a sentinel clock no run
         can reach.
+
+        When nothing observes intermediate state (no event-bus
+        observers, no message log, no page memo), the common L1-*miss*
+        cases are inlined too: the HOME-mode local fetch, the S-COMA
+        page-cache hit, the RAC hit, the plain 2-hop remote fetch and
+        the sharer-free ownership upgrade each replicate
+        `_shared_ref`'s exact mutation sequence without its call chain
+        (protocol -> directory -> memory -> network).  Every inlined
+        case decides *before mutating anything* whether it is one of
+        the rare shapes it does not model (dirty-owner forward, write
+        invalidations, page fault, relocation hint) and falls back to
+        the untouched `_shared_ref`, which is what keeps the parity
+        suite a real oracle for this block.
         """
         machine = self.machine
         nodes = machine.nodes
         n = len(nodes)
+        # -- inlined-miss machinery (see docstring) ---------------------
+        protocol = self._protocol
+        directory = protocol.directory
+        inline_miss = (self._l1_direct and self._memo is None
+                       and directory.log is None
+                       and not self._events.observers)
+        dir_copyset = directory.copyset
+        dir_owner = directory.owner
+        dir_refetch = directory.refetch_count
+        grant_ex = directory.grant_exclusive
+        mems = protocol.memories
+        network = protocol.network
+        net_base = network._base
+        net_port_busy = network.port_busy_until
+        net_maxq = network.max_queue
+        net_occ = network.port_occupancy
+        home_arr = self._home
+        line_shift = self._line_shift
+        cpp_mask = self._cpp_mask
+        dsm2 = self._dsm2
+        rac_cycles = self._rac_cycles
+        rac_victim = self._rac_victim
+        l1_fill_victim = self._l1_fill
+        buses = self._buses
         # Cached list-form traces: scalar list indexing beats numpy
         # scalar indexing ~3x, and the cache amortises the conversion
         # across the many runs of one workload in a matrix sweep.
@@ -291,9 +328,10 @@ class Engine:
             if l1_direct:
                 # Hot loop with the L1 hit case inlined.  `tags`/`dirty`
                 # alias the cache's own lists (mutated in place by fills
-                # and flushes, never rebound during a run).  Hits are
-                # tallied in a local and flushed once per slice: nothing
-                # reads `stats.l1_hits` mid-slice, and integer addition
+                # and flushes, never rebound during a run).  Hits and
+                # misses are tallied in locals and flushed once per
+                # slice: nothing reads `stats.l1_hits`/`l1_misses`/
+                # `U_SH_MEM`/`HOME*` mid-slice, and integer addition
                 # commutes with the `_shared_ref` increments.
                 l1 = node.l1
                 tags = l1.tags
@@ -301,25 +339,473 @@ class Engine:
                 set_mask = l1.set_mask
                 owned = node.owned
                 hits = 0
+                misses = 0
+                ush = 0
+                home_n = 0
+                home_lat = 0
+                bus_tx = 0
+                mem_acc = 0
+                if inline_miss:
+                    nid = node.id
+                    nbit = 1 << nid
+                    bus = buses[nid]
+                    bus_occ = bus.occupancy
+                    bus_fixed = bus.fixed_cost
+                    bus_maxq = bus.max_queue
+                    mode_get = node.page_table.mode.get
+                    sv = node.page_table.scoma_valid
+                    tlb_ref = node.tlb.ref_bits
+                    mem = node.memory
+                    mem_busy = mem.busy_until
+                    mem_mask = mem.bank_mask
+                    mem_service = mem.service_cycles
+                    mem_occ = mem.occupancy_cycles
+                    mem_maxq = mem.max_queue
+                    rac = node.rac
+                    rac_chunks = rac.chunks
+                    rac_mask = rac.entry_mask
+                    ps = node.policy_state
+                    pagecache_hits = node.pagecache_hits
+                    ever = node.ever_fetched
+                    l1stats = l1.stats
+                    net_base_nid = net_base[nid]
                 while p < e and now < limit:
                     ev = k[p]
                     arg = a[p]
                     p += 1
                     if ev <= ev_write:  # READ or WRITE
-                        if tags[arg & set_mask] == arg:
+                        s = arg & set_mask
+                        if tags[s] == arg:
                             if ev != ev_write:
                                 hits += 1
                                 now += hit_cycles
                                 continue
-                            if (arg >> chunk_shift) in owned:
+                            chunk = arg >> chunk_shift
+                            if chunk in owned:
                                 hits += 1
-                                dirty[arg & set_mask] = True
+                                dirty[s] = True
                                 now += hit_cycles
                                 continue
-                        # Miss, or write hit needing an upgrade: the
-                        # full path re-probes (pure compare) and takes
-                        # the identical branch the reference path does.
-                        now += shared_ref(node, arg, ev == ev_write, now)
+                            if not inline_miss:
+                                # Write hit needing an ownership
+                                # upgrade: the full path re-probes
+                                # (pure compare) and takes the branch
+                                # the reference path does.
+                                now += shared_ref(node, arg, True, now)
+                                continue
+                            # ---- inlined upgrade (write hit, chunk
+                            # not owned).  Pure pre-checks: a dirty
+                            # remote owner or sharers to invalidate
+                            # fall back to the full transaction.
+                            owner = dir_owner.get(chunk, -1)
+                            if owner != -1 and owner != nid:
+                                now += shared_ref(node, arg, True, now)
+                                continue
+                            cs = dir_copyset.get(chunk, 0)
+                            if cs & ~nbit:
+                                now += shared_ref(node, arg, True, now)
+                                continue
+                            hits += 1
+                            dir_copyset[chunk] = nbit
+                            dir_owner[chunk] = nid
+                            page = arg >> line_shift
+                            home = home_arr[page]
+                            if home != nid:
+                                # round trip: request leg, then ack leg
+                                base = net_base_nid[home]
+                                t = now + base
+                                busy = net_port_busy[home]
+                                q = busy - t if busy > t else 0
+                                if q > net_maxq:
+                                    q = net_maxq
+                                net_port_busy[home] = t + q + net_occ
+                                network.messages += 1
+                                if q:
+                                    network.contended_messages += 1
+                                    network.total_queue_cycles += q
+                                lat = base + q
+                                base = net_base[home][nid]
+                                t = now + lat + base
+                                busy = net_port_busy[nid]
+                                q = busy - t if busy > t else 0
+                                if q > net_maxq:
+                                    q = net_maxq
+                                net_port_busy[nid] = t + q + net_occ
+                                network.messages += 1
+                                if q:
+                                    network.contended_messages += 1
+                                    network.total_queue_cycles += q
+                                lat += base + q
+                            else:
+                                lat = 0
+                            owned.add(chunk)
+                            stats.upgrades += 1
+                            ush += lat
+                            dirty[s] = True
+                            now += hit_cycles + lat
+                            continue
+                        if not inline_miss:
+                            now += shared_ref(node, arg, ev == ev_write, now)
+                            continue
+                        # ---- inlined L1 miss (see docstring) --------
+                        # Pure probes first; nothing is mutated until
+                        # the case is known to be one this block models
+                        # exactly, so a fallback `_shared_ref` call
+                        # always sees pristine state.
+                        page = arg >> line_shift
+                        mode = mode_get(page, 0)
+                        chunk = arg >> chunk_shift
+                        is_write = ev == ev_write
+                        if mode == 1:  # HOME: local fetch
+                            owner = dir_owner.get(chunk, -1)
+                            if owner != -1 and owner != nid:
+                                now += shared_ref(node, arg, is_write, now)
+                                continue
+                            cs = dir_copyset.get(chunk, 0)
+                            exclusive = False
+                            if is_write:
+                                if cs & ~nbit:  # sharers to invalidate
+                                    now += shared_ref(node, arg, is_write,
+                                                      now)
+                                    continue
+                                dir_copyset[chunk] = nbit
+                                dir_owner[chunk] = nid
+                            else:
+                                dir_copyset[chunk] = cs | nbit
+                                if grant_ex and cs == 0 and owner != nid:
+                                    dir_owner[chunk] = nid
+                                    exclusive = True
+                                    directory.exclusive_grants += 1
+                            misses += 1
+                            tlb_ref[page] = True
+                            # bus transaction (inlined)
+                            busy = bus.busy_until
+                            q = busy - now if busy > now else 0
+                            if q > bus_maxq:
+                                q = bus_maxq
+                            bus.busy_until = now + q + bus_occ
+                            bus_tx += 1
+                            if q:
+                                bus.contended += 1
+                                bus.total_queue_cycles += q
+                            lat = bus_fixed + q
+                            # local DRAM access (inlined)
+                            bank = chunk & mem_mask
+                            t = now + lat
+                            busy = mem_busy[bank]
+                            q = busy - t if busy > t else 0
+                            if q > mem_maxq:
+                                q = mem_maxq
+                            mem_busy[bank] = t + q + mem_occ
+                            mem_acc += 1
+                            if q:
+                                mem.contended += 1
+                                mem.total_queue_cycles += q
+                            lat += mem_service + q
+                            home_n += 1
+                            home_lat += lat
+                            if is_write or exclusive:
+                                owned.add(chunk)
+                            # L1 fill (inlined; `s` probed above missed)
+                            if rac_victim:
+                                l1_fill_victim(node, arg, is_write)
+                            else:
+                                victim = tags[s]
+                                if victim != -1 and dirty[s]:
+                                    l1stats.writebacks += 1
+                                tags[s] = arg
+                                dirty[s] = is_write
+                            ush += lat
+                            now += lat
+                            continue
+                        if mode == 2:  # S-COMA
+                            cip = chunk & cpp_mask
+                            if sv[page] >> cip & 1:  # page-cache hit
+                                upgrading = is_write and chunk not in owned
+                                if upgrading:
+                                    # Pure pre-checks for the clean
+                                    # inlined upgrade; anything else
+                                    # takes the full transaction.
+                                    owner = dir_owner.get(chunk, -1)
+                                    cs = dir_copyset.get(chunk, 0)
+                                    if ((owner != -1 and owner != nid)
+                                            or cs & ~nbit):
+                                        now += shared_ref(node, arg, True,
+                                                          now)
+                                        continue
+                                misses += 1
+                                tlb_ref[page] = True
+                                busy = bus.busy_until
+                                q = busy - now if busy > now else 0
+                                if q > bus_maxq:
+                                    q = bus_maxq
+                                bus.busy_until = now + q + bus_occ
+                                bus_tx += 1
+                                if q:
+                                    bus.contended += 1
+                                    bus.total_queue_cycles += q
+                                lat = bus_fixed + q
+                                bank = chunk & mem_mask
+                                t = now + lat
+                                busy = mem_busy[bank]
+                                q = busy - t if busy > t else 0
+                                if q > mem_maxq:
+                                    q = mem_maxq
+                                mem_busy[bank] = t + q + mem_occ
+                                mem_acc += 1
+                                if q:
+                                    mem.contended += 1
+                                    mem.total_queue_cycles += q
+                                lat += mem_service + q
+                                stats.SCOMA += 1
+                                pagecache_hits[page] += 1
+                                stats.SCOMA_LAT += lat
+                                if upgrading:
+                                    # round trip at now + lat, then the
+                                    # directory takes the write.
+                                    dir_copyset[chunk] = nbit
+                                    dir_owner[chunk] = nid
+                                    if home_arr[page] != nid:
+                                        home = home_arr[page]
+                                        base = net_base_nid[home]
+                                        t = now + lat + base
+                                        busy = net_port_busy[home]
+                                        q = busy - t if busy > t else 0
+                                        if q > net_maxq:
+                                            q = net_maxq
+                                        net_port_busy[home] = t + q + net_occ
+                                        network.messages += 1
+                                        if q:
+                                            network.contended_messages += 1
+                                            network.total_queue_cycles += q
+                                        ulat = base + q
+                                        base = net_base[home][nid]
+                                        t = now + lat + ulat + base
+                                        busy = net_port_busy[nid]
+                                        q = busy - t if busy > t else 0
+                                        if q > net_maxq:
+                                            q = net_maxq
+                                        net_port_busy[nid] = t + q + net_occ
+                                        network.messages += 1
+                                        if q:
+                                            network.contended_messages += 1
+                                            network.total_queue_cycles += q
+                                        lat += ulat + base + q
+                                    owned.add(chunk)
+                                    stats.upgrades += 1
+                                if rac_victim:
+                                    l1_fill_victim(node, arg, is_write)
+                                else:
+                                    victim = tags[s]
+                                    if victim != -1 and dirty[s]:
+                                        l1stats.writebacks += 1
+                                    tags[s] = arg
+                                    dirty[s] = is_write
+                                ush += lat
+                                now += lat
+                                continue
+                            remote_kind = 0  # S-COMA chunk fill
+                        elif mode == 3:  # CC-NUMA
+                            key = arg if rac_victim else chunk
+                            if rac_chunks[key & rac_mask] == key:  # RAC hit
+                                upgrading = is_write and chunk not in owned
+                                if upgrading:
+                                    owner = dir_owner.get(chunk, -1)
+                                    cs = dir_copyset.get(chunk, 0)
+                                    if ((owner != -1 and owner != nid)
+                                            or cs & ~nbit):
+                                        now += shared_ref(node, arg, True,
+                                                          now)
+                                        continue
+                                rac.hits += 1
+                                misses += 1
+                                tlb_ref[page] = True
+                                busy = bus.busy_until
+                                q = busy - now if busy > now else 0
+                                if q > bus_maxq:
+                                    q = bus_maxq
+                                bus.busy_until = now + q + bus_occ
+                                bus_tx += 1
+                                if q:
+                                    bus.contended += 1
+                                    bus.total_queue_cycles += q
+                                lat = bus_fixed + q + rac_cycles
+                                stats.RAC += 1
+                                stats.RAC_LAT += lat
+                                if upgrading:
+                                    dir_copyset[chunk] = nbit
+                                    dir_owner[chunk] = nid
+                                    if home_arr[page] != nid:
+                                        home = home_arr[page]
+                                        base = net_base_nid[home]
+                                        t = now + lat + base
+                                        busy = net_port_busy[home]
+                                        q = busy - t if busy > t else 0
+                                        if q > net_maxq:
+                                            q = net_maxq
+                                        net_port_busy[home] = t + q + net_occ
+                                        network.messages += 1
+                                        if q:
+                                            network.contended_messages += 1
+                                            network.total_queue_cycles += q
+                                        ulat = base + q
+                                        base = net_base[home][nid]
+                                        t = now + lat + ulat + base
+                                        busy = net_port_busy[nid]
+                                        q = busy - t if busy > t else 0
+                                        if q > net_maxq:
+                                            q = net_maxq
+                                        net_port_busy[nid] = t + q + net_occ
+                                        network.messages += 1
+                                        if q:
+                                            network.contended_messages += 1
+                                            network.total_queue_cycles += q
+                                        lat += ulat + base + q
+                                    owned.add(chunk)
+                                    stats.upgrades += 1
+                                if rac_victim:
+                                    l1_fill_victim(node, arg, is_write)
+                                else:
+                                    victim = tags[s]
+                                    if victim != -1 and dirty[s]:
+                                        l1stats.writebacks += 1
+                                    tags[s] = arg
+                                    dirty[s] = is_write
+                                ush += lat
+                                now += lat
+                                continue
+                            remote_kind = 1  # CC-NUMA remote fetch
+                        else:  # UNMAPPED: page fault machinery
+                            now += shared_ref(node, arg, is_write, now)
+                            continue
+                        # ---- plain 2-hop remote fetch (both kinds) --
+                        home = home_arr[page]
+                        owner = dir_owner.get(chunk, -1)
+                        if owner != -1 and owner != nid:  # forwarded
+                            now += shared_ref(node, arg, is_write, now)
+                            continue
+                        cs = dir_copyset.get(chunk, 0)
+                        if is_write and cs & ~nbit:  # invalidations
+                            now += shared_ref(node, arg, is_write, now)
+                            continue
+                        refetch = cs & nbit
+                        if remote_kind:  # CC-NUMA counts refetches
+                            threshold = (ps.threshold
+                                         if ps.relocation_enabled else 0)
+                            if refetch and threshold > 0:
+                                count = dir_refetch.get((page, nid), 0) + 1
+                                if count >= threshold:  # relocation hint
+                                    now += shared_ref(node, arg, is_write,
+                                                      now)
+                                    continue
+                        # Commit: replicate `_shared_ref`'s sequence.
+                        misses += 1
+                        if remote_kind:  # the CC-NUMA path probed the RAC
+                            rac.misses += 1
+                        tlb_ref[page] = True
+                        busy = bus.busy_until
+                        q = busy - now if busy > now else 0
+                        if q > bus_maxq:
+                            q = bus_maxq
+                        bus.busy_until = now + q + bus_occ
+                        bus_tx += 1
+                        if q:
+                            bus.contended += 1
+                            bus.total_queue_cycles += q
+                        lat = bus_fixed + q
+                        # directory fetch_raw effects
+                        exclusive = False
+                        if is_write:
+                            dir_copyset[chunk] = nbit
+                            dir_owner[chunk] = nid
+                        else:
+                            dir_copyset[chunk] = cs | nbit
+                            if grant_ex and cs == 0 and owner != nid:
+                                dir_owner[chunk] = nid
+                                exclusive = True
+                                directory.exclusive_grants += 1
+                        if remote_kind and refetch:
+                            directory.total_refetches += 1
+                            if threshold > 0:
+                                dir_refetch[(page, nid)] = count
+                        # request leg (network one_way, inlined)
+                        t = now + lat
+                        if nid != home:
+                            base = net_base_nid[home]
+                            t += base
+                            busy = net_port_busy[home]
+                            q = busy - t if busy > t else 0
+                            if q > net_maxq:
+                                q = net_maxq
+                            net_port_busy[home] = t + q + net_occ
+                            network.messages += 1
+                            if q:
+                                network.contended_messages += 1
+                                network.total_queue_cycles += q
+                            rlat = base + q
+                        else:
+                            rlat = 0
+                        # home DRAM access
+                        mem_h = mems[home]
+                        t = now + lat + rlat
+                        bank = chunk & mem_h.bank_mask
+                        busy = mem_h.busy_until[bank]
+                        q = busy - t if busy > t else 0
+                        if q > mem_h.max_queue:
+                            q = mem_h.max_queue
+                        mem_h.busy_until[bank] = t + q + mem_h.occupancy_cycles
+                        mem_h.accesses += 1
+                        if q:
+                            mem_h.contended += 1
+                            mem_h.total_queue_cycles += q
+                        rlat += mem_h.service_cycles + q
+                        # data response leg
+                        if home != nid:
+                            base = net_base[home][nid]
+                            t = now + lat + rlat + base
+                            busy = net_port_busy[nid]
+                            q = busy - t if busy > t else 0
+                            if q > net_maxq:
+                                q = net_maxq
+                            net_port_busy[nid] = t + q + net_occ
+                            network.messages += 1
+                            if q:
+                                network.contended_messages += 1
+                                network.total_queue_cycles += q
+                            rlat += base + q
+                        protocol.remote_fetches += 1
+                        lat += dsm2 + rlat
+                        if remote_kind:
+                            if not rac_victim:
+                                rac_chunks[chunk & rac_mask] = chunk
+                                rac.fills += 1
+                        else:
+                            sv[page] |= 1 << cip
+                        # miss classification (_classify_remote, inlined)
+                        if refetch:
+                            stats.CONF_CAPC += 1
+                            stats.CONF_CAPC_LAT += lat
+                            ever.add(chunk)
+                        else:
+                            stats.COLD += 1
+                            stats.COLD_LAT += lat
+                            if chunk in ever:
+                                stats.induced_cold += 1
+                            else:
+                                stats.essential_cold += 1
+                                ever.add(chunk)
+                        if is_write or exclusive:
+                            owned.add(chunk)
+                        if rac_victim:
+                            l1_fill_victim(node, arg, is_write)
+                        else:
+                            victim = tags[s]
+                            if victim != -1 and dirty[s]:
+                                l1stats.writebacks += 1
+                            tags[s] = arg
+                            dirty[s] = is_write
+                        ush += lat
+                        now += lat
                     elif ev == ev_compute:
                         stats.U_INSTR += arg
                         now += arg
@@ -333,6 +819,17 @@ class Engine:
                         break
                 if hits:
                     stats.l1_hits += hits
+                if misses:
+                    stats.l1_misses += misses
+                if ush:
+                    stats.U_SH_MEM += ush
+                if home_n:
+                    stats.HOME += home_n
+                    stats.HOME_LAT += home_lat
+                if bus_tx:
+                    bus.transactions += bus_tx
+                if mem_acc:
+                    mem.accesses += mem_acc
             else:
                 while p < e and now < limit:
                     ev = k[p]

@@ -19,12 +19,14 @@ workloads can be cached on disk.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 __all__ = ["EV_READ", "EV_WRITE", "EV_COMPUTE", "EV_LOCAL", "EV_BARRIER",
-           "Trace", "TraceBuilder", "WorkloadTraces", "coalesce_events"]
+           "TRACE_FORMAT_VERSION", "Trace", "TraceBuilder", "WorkloadTraces",
+           "coalesce_events"]
 
 EV_READ = 0
 EV_WRITE = 1
@@ -36,6 +38,13 @@ _EVENT_NAMES = {EV_READ: "READ", EV_WRITE: "WRITE", EV_COMPUTE: "COMPUTE",
                 EV_LOCAL: "LOCAL", EV_BARRIER: "BARRIER"}
 
 _MAGIC = b"ASCT1\n"
+
+#: Version of the event encoding + on-disk layout.  Bump whenever the
+#: meaning of (kind, arg) pairs or the binary layout changes: saved
+#: files then stop loading (``load`` raises) and every content hash
+#: derived from this constant stops matching, so stale trace-cache
+#: entries are regenerated rather than silently misread.
+TRACE_FORMAT_VERSION = 1
 
 
 def coalesce_events(kinds: np.ndarray,
@@ -130,6 +139,19 @@ class Trace:
 
     def event_name(self, kind: int) -> str:
         return _EVENT_NAMES[kind]
+
+    def content_hash(self) -> str:
+        """Stable 16-hex digest of the event arrays.
+
+        Covers dtype, length and raw bytes of both arrays plus the
+        trace format version, so two traces hash equal iff replaying
+        them is guaranteed to be indistinguishable.
+        """
+        h = hashlib.sha256()
+        h.update(f"v{TRACE_FORMAT_VERSION}:{len(self.kinds)}:".encode())
+        h.update(self.kinds.tobytes())
+        h.update(self.args.tobytes())
+        return h.hexdigest()[:16]
 
 
 @dataclass
@@ -245,6 +267,21 @@ class WorkloadTraces:
         r = self.max_remote_pages(lines_per_page)
         return h / (h + r) if (h + r) else 1.0
 
+    def content_hash(self) -> str:
+        """Stable 16-hex digest of the complete workload.
+
+        Combines every node trace's :meth:`Trace.content_hash` with the
+        metadata the replay engine consumes, so equality of hashes means
+        "bit-identical replay inputs" — the property the trace cache's
+        golden tests pin down.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.name}:{self.home_pages_per_node}:"
+                 f"{self.total_shared_pages}:{self.n_nodes}:".encode())
+        for trace in self.traces:
+            h.update(trace.content_hash().encode())
+        return h.hexdigest()[:16]
+
     # -- persistence ---------------------------------------------------
     def save(self, path: str) -> None:
         with open(path, "wb") as fh:
@@ -255,6 +292,7 @@ class WorkloadTraces:
                 "total_shared_pages": self.total_shared_pages,
                 "n_nodes": self.n_nodes,
                 "params": self.params,
+                "format_version": TRACE_FORMAT_VERSION,
             }
             fh.write((repr(header) + "\n").encode())
             for trace in self.traces:
@@ -269,6 +307,13 @@ class WorkloadTraces:
             if fh.read(len(_MAGIC)) != _MAGIC:
                 raise ValueError(f"{path} is not a workload trace file")
             header = ast.literal_eval(fh.readline().decode())
+            # Files written before format_version existed carry no
+            # version key and read as version 0: always stale.
+            version = header.get("format_version", 0)
+            if version != TRACE_FORMAT_VERSION:
+                raise ValueError(
+                    f"{path} has trace format version {version}, "
+                    f"expected {TRACE_FORMAT_VERSION}")
             traces = []
             for _ in range(header["n_nodes"]):
                 kinds = np.load(fh)

@@ -32,6 +32,27 @@ def generate_workload(name: str, scale: float = 1.0, **overrides):
     return fn(n_nodes=n_nodes, scale=scale, **overrides)
 
 
+def workload_spec(name: str, scale: float = 1.0, **overrides) -> WorkloadSpec:
+    """The exact :class:`WorkloadSpec` ``generate_workload`` would use.
+
+    Lets the trace cache key a workload by its canonical parameters
+    without paying for generation: every application module routes
+    ``generate`` through its ``default_spec``, so this spec (plus the
+    application name, which selects the generator class) fully
+    determines the generated traces.
+    """
+    import sys
+
+    try:
+        fn, n_nodes = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    module = sys.modules[fn.__module__]
+    return module.default_spec(n_nodes=n_nodes, scale=scale, **overrides)
+
+
 __all__ = [
     "SyntheticGenerator",
     "WORKLOADS",
@@ -45,4 +66,5 @@ __all__ = [
     "ocean",
     "radix",
     "synthetic",
+    "workload_spec",
 ]

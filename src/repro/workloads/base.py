@@ -102,6 +102,25 @@ class WorkloadSpec:
         h = self.home_pages_per_node
         return h / (h + self.remote_pages_per_node)
 
+    def canonical_dict(self) -> dict:
+        """Every generation-relevant field as plain JSON scalars.
+
+        This is the canonical form the trace cache hashes: two specs
+        with equal canonical dicts (plus equal generator class, i.e.
+        application name) produce bit-identical traces.  Floats are kept
+        as-is — ``json.dumps`` round-trips them exactly — and keys are
+        emitted sorted by the hasher, so field declaration order never
+        changes a key.
+        """
+        out = {}
+        for name, value in sorted(self.__dict__.items()):
+            if isinstance(value, (bool, int, float, str)) or value is None:
+                out[name] = value
+            else:  # future-proofing: never hash repr of rich objects
+                raise TypeError(f"WorkloadSpec.{name} is not a JSON scalar:"
+                                f" {type(value).__name__}")
+        return out
+
 
 def emit_visits(builder: TraceBuilder, rng: np.random.Generator,
                 pages: np.ndarray, lines_per_visit: int, lines_per_page: int,
@@ -159,12 +178,11 @@ def emit_visits(builder: TraceBuilder, rng: np.random.Generator,
 
     builder._kinds.extend(kinds.ravel().tolist())
     builder._args.extend(args.ravel().tolist())
-    # Tail references that do not fill a whole block.
-    for i in range(n_blocks * block, n):
-        if writes[i]:
-            builder.write(int(lines[i]))
-        else:
-            builder.read(int(lines[i]))
+    # Tail references that do not fill a whole block (bulk-appended:
+    # same events the per-call read/write loop produced, one extend).
+    tail = n_blocks * block
+    if tail < n:
+        builder.extend_refs(lines[tail:], writes[tail:])
     return n
 
 

@@ -22,6 +22,21 @@ def isolated_store_dir(tmp_path, monkeypatch):
     return tmp_path / "store"
 
 
+@pytest.fixture(autouse=True)
+def isolated_trace_dir(tmp_path, monkeypatch):
+    """Same isolation for the workload trace cache (``results/traces``).
+
+    Also drops the per-process trace memo around each test so no test
+    observes traces another test's store resolved.
+    """
+    from repro.runtime.tracecache import clear_trace_memo
+
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+    clear_trace_memo()
+    yield tmp_path / "traces"
+    clear_trace_memo()
+
+
 @pytest.fixture
 def amap() -> AddressMap:
     return AddressMap()

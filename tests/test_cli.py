@@ -118,7 +118,7 @@ class TestCommands:
 class TestBenchCommand:
     def test_bench_writes_json(self, capsys, tmp_path):
         out_path = tmp_path / "bench.json"
-        assert main(["bench", "--only", "tracegen", "--repeats", "1",
+        assert main(["bench", "--only", "tracegen:em3d", "--repeats", "1",
                      "--out", str(out_path)]) == 0
         out = capsys.readouterr().out
         assert "tracegen:em3d" in out and "ev/s" in out
@@ -132,10 +132,10 @@ class TestBenchCommand:
     def test_bench_with_baseline_reports_speedup(self, capsys, tmp_path):
         base = tmp_path / "base.json"
         out_path = tmp_path / "bench.json"
-        assert main(["bench", "--only", "tracegen", "--repeats", "1",
+        assert main(["bench", "--only", "tracegen:em3d", "--repeats", "1",
                      "--out", str(base)]) == 0
         capsys.readouterr()
-        assert main(["bench", "--only", "tracegen", "--repeats", "1",
+        assert main(["bench", "--only", "tracegen:em3d", "--repeats", "1",
                      "--baseline", str(base), "--out", str(out_path)]) == 0
         assert "x vs baseline" in capsys.readouterr().out
         import json

@@ -87,3 +87,16 @@ class TestParallel:
         for result in out["fft"].values():
             total = result.aggregate().total_cycles()
             assert total > 0 and math.isfinite(total)
+
+    def test_matrix_parallel_plumbs_quantum(self, monkeypatch):
+        """--quantum must reach every spec of the parallel matrix path."""
+        import repro.harness.parallel as par
+        captured = []
+
+        def fake_execute(specs, **kwargs):
+            captured.extend(specs)
+            return {spec: object() for spec in captured}
+
+        monkeypatch.setattr(par, "execute", fake_execute)
+        run_matrix_parallel(apps=("fft",), scale=SCALE, quantum=512)
+        assert captured and all(spec.quantum == 512 for spec in captured)

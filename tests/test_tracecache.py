@@ -1,0 +1,214 @@
+"""Trace cache: bit-exactness, invalidation, scheduling, determinism.
+
+The cache's contract is that it changes *when* traces are built, never
+*what* is built: every test here either proves a cached workload is
+bit-identical to a regenerated one, or proves that anything less
+(corruption, stale format, foreign file) reads as a miss and falls
+back to regeneration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.sim.trace as trace_mod
+from repro.harness.experiment import get_workload
+from repro.harness.parallel import run_cells
+from repro.runtime import (RunSpec, TraceStore, clear_trace_memo, execute,
+                           fetch_traces, lpt_order, spec_cost,
+                           submit_chunksize, trace_key, use_trace_store)
+
+APP = "em3d"
+SCALE = 0.2
+
+
+def _store(tmp_path) -> TraceStore:
+    return TraceStore(tmp_path / "traces")
+
+
+class TestTraceKey:
+    def test_stable_across_calls(self):
+        assert trace_key(APP, SCALE) == trace_key(APP, SCALE)
+
+    def test_sensitive_to_inputs(self):
+        baseline = trace_key(APP, SCALE)
+        assert trace_key("fft", SCALE) != baseline
+        assert trace_key(APP, 0.3) != baseline
+        assert trace_key(APP, SCALE, seed=123) != baseline
+
+    def test_sensitive_to_format_version(self, monkeypatch):
+        baseline = trace_key(APP, SCALE)
+        import repro.runtime.tracecache as tc
+        monkeypatch.setattr(tc, "TRACE_FORMAT_VERSION",
+                            trace_mod.TRACE_FORMAT_VERSION + 1)
+        assert trace_key(APP, SCALE) != baseline
+
+
+class TestBitExactness:
+    def test_cached_equals_regenerated(self, tmp_path):
+        """The acceptance-criterion test: disk round-trip is identical."""
+        store = _store(tmp_path)
+        generated = get_workload(APP, SCALE)
+        store.put(APP, SCALE, generated)
+        cached = store.get(APP, SCALE)
+        assert cached is not None
+        assert cached.name == generated.name
+        assert cached.n_nodes == generated.n_nodes
+        assert cached.home_pages_per_node == generated.home_pages_per_node
+        assert cached.total_shared_pages == generated.total_shared_pages
+        for cold, warm in zip(generated.traces, cached.traces):
+            assert cold.kinds.dtype == warm.kinds.dtype
+            assert cold.args.dtype == warm.args.dtype
+            assert np.array_equal(cold.kinds, warm.kinds)
+            assert np.array_equal(cold.args, warm.args)
+        assert cached.content_hash() == generated.content_hash()
+
+    def test_fetch_miss_generates_and_writes_back(self, tmp_path):
+        store = _store(tmp_path)
+        with use_trace_store(store):
+            fetched = fetch_traces(APP, SCALE)
+        assert store.writes == 1
+        assert fetched.content_hash() == get_workload(APP, SCALE).content_hash()
+        assert store.path_for(APP, SCALE).exists()
+
+    def test_fetch_hits_disk_after_memo_drop(self, tmp_path):
+        store = _store(tmp_path)
+        with use_trace_store(store):
+            first = fetch_traces(APP, SCALE)
+            clear_trace_memo()
+            second = fetch_traces(APP, SCALE)
+        assert store.hits == 1
+        assert second is not first  # reloaded, not memoised
+        assert second.content_hash() == first.content_hash()
+
+    def test_memo_returns_same_object(self, tmp_path):
+        store = _store(tmp_path)
+        with use_trace_store(store):
+            assert fetch_traces(APP, SCALE) is fetch_traces(APP, SCALE)
+
+
+class TestInvalidation:
+    def test_bad_magic_is_a_miss(self, tmp_path):
+        store = _store(tmp_path)
+        store.root.mkdir(parents=True)
+        store.path_for(APP, SCALE).write_bytes(b"JUNK" * 64)
+        assert store.get(APP, SCALE) is None
+        assert store.misses == 1
+
+    def test_truncated_file_is_a_miss(self, tmp_path):
+        store = _store(tmp_path)
+        store.put(APP, SCALE, get_workload(APP, SCALE))
+        path = store.path_for(APP, SCALE)
+        path.write_bytes(path.read_bytes()[:100])
+        assert store.get(APP, SCALE) is None
+
+    def test_stale_format_version_falls_back_to_regeneration(
+            self, tmp_path, monkeypatch):
+        store = _store(tmp_path)
+        store.root.mkdir(parents=True)
+        wl = get_workload(APP, SCALE)
+        # Craft an entry written by a "future" (or past) trace format at
+        # the path the current key resolves to.
+        with monkeypatch.context() as m:
+            m.setattr(trace_mod, "TRACE_FORMAT_VERSION",
+                      trace_mod.TRACE_FORMAT_VERSION + 1)
+            wl.save(str(store.path_for(APP, SCALE)))
+        assert store.get(APP, SCALE) is None
+        with use_trace_store(store):
+            fetched = fetch_traces(APP, SCALE)
+        # Regenerated, bit-identical, and the stale entry was rewritten.
+        assert fetched.content_hash() == wl.content_hash()
+        assert store.writes == 1
+        assert store.get(APP, SCALE) is not None
+
+    def test_load_rejects_versionless_header(self, tmp_path):
+        """Files from before format versioning read as version 0."""
+        wl = get_workload(APP, SCALE)
+        path = tmp_path / "old.trace"
+        wl.save(str(path))
+        raw = path.read_bytes()
+        stale = raw.replace(b"'format_version': 1", b"'format_version': 0", 1)
+        assert stale != raw
+        path.write_bytes(stale)
+        with pytest.raises(ValueError, match="format version 0"):
+            trace_mod.WorkloadTraces.load(str(path))
+
+    def test_wrong_app_under_right_name_is_a_miss(self, tmp_path):
+        store = _store(tmp_path)
+        store.root.mkdir(parents=True)
+        get_workload("fft", SCALE).save(str(store.path_for(APP, SCALE)))
+        assert store.get(APP, SCALE) is None
+
+
+class TestMaintenance:
+    def test_entries_and_clear(self, tmp_path):
+        store = _store(tmp_path)
+        store.put(APP, SCALE, get_workload(APP, SCALE))
+        (entry,) = store.entries()
+        assert entry["name"] == APP
+        assert entry["events"] > 0
+        info = store.describe()
+        assert info["entries"] == 1 and info["bytes"] > 0
+        assert store.clear() == 1
+        assert store.entries() == []
+
+    def test_describe_empty(self, tmp_path):
+        info = _store(tmp_path).describe()
+        assert info["entries"] == 0 and info["bytes"] == 0
+
+
+class TestCostModel:
+    def test_lpt_orders_costliest_first(self):
+        specs = [RunSpec("fft", "ASCOMA", 0.7),
+                 RunSpec("ocean", "ASCOMA", 0.7),
+                 RunSpec("fft", "CCNUMA", 0.7)]
+        events_of = {("fft", 0.5): 100, ("ocean", 0.5): 1000}
+        ordered = lpt_order(specs, events_of)
+        assert [s.app for s in ordered] == ["ocean", "fft", "fft"]
+        # Among equal event counts the heavier architecture goes first.
+        assert ordered[1].arch == "CCNUMA"
+
+    def test_lpt_unknown_workload_sorts_last(self):
+        good = RunSpec("fft", "ASCOMA", 0.7)
+        bad = RunSpec("nope", "ASCOMA", 0.7)
+        ordered = lpt_order([bad, good], {("fft", 0.5): 10})
+        assert ordered == [good, bad]
+
+    def test_spec_cost_uses_arch_weight(self):
+        base = spec_cost(RunSpec("fft", "ASCOMA", 0.7), events=1000)
+        heavy = spec_cost(RunSpec("fft", "CCNUMA", 0.7), events=1000)
+        assert heavy > base == 1000
+
+    def test_submit_chunksize(self):
+        assert submit_chunksize(90, 1) == 22
+        assert submit_chunksize(90, 8) == 2
+        assert submit_chunksize(3, 8) == 1  # never zero
+        with pytest.raises(ValueError):
+            submit_chunksize(10, 0)
+
+
+class TestCrossProcessDeterminism:
+    """Satellite: parallel and serial payloads must be identical."""
+
+    CELLS = [(app, arch, 0.5, SCALE)
+             for app in ("fft", "em3d") for arch in ("ASCOMA", "SCOMA")]
+
+    @pytest.mark.parametrize("cache", ["without-cache", "with-cache"])
+    def test_parallel_matches_serial_to_dict(self, tmp_path, cache):
+        store = _store(tmp_path) if cache == "with-cache" else None
+        with use_trace_store(store):
+            serial = run_cells(self.CELLS, parallel=False, store=None)
+            parallel = run_cells(self.CELLS, max_workers=2, store=None)
+        for cell in self.CELLS:
+            assert serial[cell].to_dict() == parallel[cell].to_dict(), cell
+
+    def test_legacy_pool_matches_new_dispatch(self, tmp_path):
+        specs = [RunSpec(app, arch, 0.5, SCALE)
+                 for app, arch, _, _ in self.CELLS[:2]]
+        with use_trace_store(_store(tmp_path)):
+            new = execute(specs, store=None, parallel=True, max_workers=2)
+            legacy = execute(specs, store=None, parallel=True, max_workers=2,
+                             legacy_pool=True)
+        for spec in specs:
+            assert new[spec].to_dict() == legacy[spec].to_dict()
