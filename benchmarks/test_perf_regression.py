@@ -8,10 +8,10 @@ differences between the committing machine and the test machine are
 real, so the gate is deliberately loose -- it exists to catch
 order-of-magnitude regressions (an accidentally disabled fast path, a
 per-event allocation creeping back in, the trace cache silently
-missing), not single-digit noise.  Two hardware-independent
-self-checks back it up: the fast path must outrun the reference loop,
-and a trace-cache hit must beat regeneration, both measured in the
-same process.
+missing), not single-digit noise.  Three hardware-independent
+self-checks back it up, all measured as same-process ratios: the fast
+path must outrun the reference loop, a trace-cache hit must beat
+regeneration, and ``--obs`` telemetry must stay within its 2% budget.
 
 Opt-in: wall-clock assertions are inherently flaky on loaded CI
 runners, so these tests skip unless ``REPRO_PERF=1`` is set::
@@ -89,6 +89,23 @@ def test_trace_cache_beats_regeneration():
     assert result.meta["speedup_x"] > 1.0, (
         f"trace-cache hit ({result.wall_s:.4f}s) is not faster than cold "
         f"generation ({result.meta['cold_wall_s']:.4f}s)")
+
+
+def test_obs_overhead_within_budget():
+    """The ``--obs`` budget from docs/observability.md: full telemetry
+    (cell/simulate spans, kind-filtered backoff time series, JSONL
+    sink) must cost at most 2% wall-clock on the matrix micro slice.
+    Measured as a same-process ratio, so the gate is hardware
+    independent; a failure means an instrumentation site leaked onto
+    the hot path (most likely by subscribing an unfiltered observer,
+    which turns off the replay fast path)."""
+    from repro.perf import bench_obs_overhead
+
+    result = bench_obs_overhead(repeats=3)
+    assert result.meta["overhead_x"] <= 1.02, (
+        f"--obs overhead {result.meta['overhead_x']:.3f}x exceeds the 1.02x "
+        f"budget (observed {result.wall_s:.4f}s vs plain "
+        f"{result.meta['plain_wall_s']:.4f}s)")
 
 
 def test_fast_path_beats_reference(committed):

@@ -14,6 +14,8 @@ Commands
 ``analyze APP``        workload characterisation (tracestats)
 ``store ACTION``       inspect/clear the result and trace stores
                        (info|list|clear|trace-info|trace-list|trace-clear)
+``obs ACTION``         inspect recorded run telemetry
+                       (summary|timeline|export)
 
 Every command accepts ``--scale`` (workload scale, default 0.5).
 
@@ -34,6 +36,15 @@ regenerating it and warm pool workers share one copy per process.
 ``--no-trace-cache`` disables the trace store for one invocation;
 ``repro store trace-clear`` wipes it.  Trace entries invalidate
 automatically on :data:`~repro.sim.trace.TRACE_FORMAT_VERSION` bumps.
+
+Telemetry
+---------
+``--obs`` on ``run``/``matrix`` (or ``REPRO_OBS=1``; ``--no-obs``
+overrides the env var) records one JSONL telemetry run — executor
+spans plus the adaptive-backoff time series — under ``--obs-dir``
+(default ``results/obs``, or ``$REPRO_OBS_DIR``).  ``repro obs
+summary|timeline|export`` inspect the recorded runs; see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -67,7 +78,17 @@ def build_parser() -> argparse.ArgumentParser:
                                                "results/traces"),
                         help="workload trace cache directory"
                              " (default results/traces or $REPRO_TRACE_DIR)")
+    parser.add_argument("--obs-dir", default=None,
+                        help="run-telemetry directory"
+                             " (default results/obs or $REPRO_OBS_DIR)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs_flags(p) -> None:
+        p.add_argument("--obs", action="store_true",
+                       help="record run telemetry (executor spans + backoff"
+                            " time series) under --obs-dir")
+        p.add_argument("--no-obs", action="store_true",
+                       help="disable telemetry even if REPRO_OBS=1")
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=range(1, 7))
@@ -85,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="attach the online invariant checker"
                         " (bypasses the result store)")
+    add_obs_flags(p)
 
     p = sub.add_parser("sweep", help="pressure sweep for one app")
     p.add_argument("app")
@@ -105,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="attach the online invariant checker to every"
                         " cell (bypasses the result store)")
+    add_obs_flags(p)
 
     sub.add_parser("claims", help="paper-claim scorecard")
 
@@ -154,6 +177,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inspect or clear the result / trace stores")
     p.add_argument("action", choices=("info", "list", "clear", "trace-info",
                                       "trace-list", "trace-clear"))
+
+    p = sub.add_parser("obs", help="inspect recorded run telemetry")
+    p.add_argument("action", choices=("summary", "timeline", "export"))
+    p.add_argument("--run", default=None, metavar="ID",
+                   help="telemetry run id or JSONL path (default: latest"
+                        " run under --obs-dir)")
+    p.add_argument("--cell", default=None, metavar="LABEL",
+                   help="timeline: restrict to one cell (spec label"
+                        " substring; default: busiest cell)")
+    p.add_argument("--node", type=int, default=None,
+                   help="timeline: restrict to one node's daemon rows")
+    p.add_argument("--format", choices=("json", "csv"), default="json",
+                   help="export format (default json)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="export: write here instead of stdout")
     return parser
 
 
@@ -409,6 +447,33 @@ def _cmd_trace_store(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_obs(args) -> str:
+    from ..obs import (backoff_specs, export_records, read_records,
+                       render_summary, render_timeline, resolve_run_path)
+    path = resolve_run_path(args.run, args.obs_dir)
+    records = read_records(path)
+    if args.action == "summary":
+        return render_summary(records, run_name=path.stem)
+    if args.action == "timeline":
+        spec = None
+        if args.cell:
+            matches = [s for s in backoff_specs(records) if args.cell in s]
+            if not matches:
+                raise ValueError(
+                    f"no backoff telemetry for a cell matching"
+                    f" {args.cell!r} in {path.name}")
+            spec = matches[0]
+        return render_timeline(records, spec=spec, node=args.node)
+    text = export_records(records, fmt=args.format)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        return f"exported {len(records)} record(s) to {args.out}"
+    return text
+
+
 _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
@@ -421,22 +486,49 @@ _COMMANDS = {
     "hotpages": _cmd_hotpages,
     "analyze": _cmd_analyze,
     "store": _cmd_store,
+    "obs": _cmd_obs,
 }
+
+
+def _make_recorder(args):
+    """The per-invocation telemetry recorder, or ``None`` when off.
+
+    ``--obs`` turns telemetry on for commands that grew the flag
+    (``run``/``matrix``); ``REPRO_OBS=1`` does the same without editing
+    scripts, and ``--no-obs`` wins over the environment.
+    """
+    if not hasattr(args, "obs"):  # command has no telemetry surface
+        return None
+    obs_on = args.obs or os.environ.get("REPRO_OBS") == "1"
+    if args.no_obs or not obs_on:
+        return None
+    from ..obs import ObsSink, SpanRecorder
+    recorder = SpanRecorder(ObsSink(args.obs_dir))
+    recorder.emit("meta", command=args.command, scale=args.scale)
+    return recorder
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from ..obs import use_obs
     from ..runtime import RunStore, TraceStore, use_store, use_trace_store
     store = None if args.no_cache else RunStore(args.store_dir)
     trace_store = (None if args.no_trace_cache
                    else TraceStore(args.trace_dir))
+    recorder = _make_recorder(args)
     try:
         with use_store(store, refresh=args.refresh), \
-                use_trace_store(trace_store):
+                use_trace_store(trace_store), use_obs(recorder):
             output = _COMMANDS[args.command](args)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if recorder is not None:
+            sink = recorder.sink
+            sink.close()
+            print(f"telemetry: {sink.path}"
+                  f" ({sink.records_written} records)", file=sys.stderr)
     code = 0
     if isinstance(output, tuple):
         output, code = output

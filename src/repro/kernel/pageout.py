@@ -119,11 +119,17 @@ class PageoutDaemon:
 
     # -- policy knobs ---------------------------------------------------
     def stretch_interval(self, factor: float = 2.0, cap: int | None = None) -> None:
-        """Back off the daemon's own invocation rate (AS-COMA, Section 3)."""
-        new = int(self.interval * factor)
+        """Back off the daemon's own invocation rate (AS-COMA, Section 3).
+
+        The caller's *cap* is an absolute ceiling and wins over the
+        ``base_interval`` floor: clamping to the cap must happen last,
+        or a ``cap < base_interval`` would be silently ignored and the
+        interval could exceed what the caller asked for.
+        """
+        new = max(self.base_interval, int(self.interval * factor))
         if cap is not None:
             new = min(new, cap)
-        self.interval = max(self.base_interval, new)
+        self.interval = new
 
     def reset_interval(self) -> None:
         self.interval = self.base_interval

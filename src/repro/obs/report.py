@@ -1,0 +1,193 @@
+"""Rendering and export of recorded telemetry runs.
+
+Backs the ``repro obs summary|timeline|export`` CLI subcommands.  All
+three operate on the merged JSONL record stream of one run (see
+:mod:`repro.obs.sink`): *summary* aggregates spans and cell events,
+*timeline* renders one cell's backoff trajectory against its phase
+markers, *export* re-emits the records as JSON or CSV for external
+plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+__all__ = ["summarize", "render_summary", "render_timeline",
+           "export_records", "backoff_specs"]
+
+
+def summarize(records: list[dict]) -> dict:
+    """Aggregate one run's records.
+
+    Returns ``{"spans": {name: {count, total_s, max_s}}, "events":
+    {name: count}, "cells": {...}, "backoff": {counter: total}}``.
+    """
+    spans: dict[str, dict] = {}
+    events: dict[str, int] = {}
+    backoff = {"cells_with_telemetry": set(), "daemon_runs": 0,
+               "thrash_events": 0, "threshold_raises": 0,
+               "threshold_lowers": 0, "interval_stretches": 0,
+               "interval_resets": 0, "relocation_disables": 0,
+               "relocation_reenables": 0}
+    cells: set[str] = set()
+    for record in records:
+        rec = record.get("rec")
+        if rec == "span":
+            agg = spans.setdefault(record.get("name", "?"),
+                                   {"count": 0, "total_s": 0.0, "max_s": 0.0})
+            wall = float(record.get("wall_s", 0.0))
+            agg["count"] += 1
+            agg["total_s"] += wall
+            agg["max_s"] = max(agg["max_s"], wall)
+            if record.get("spec"):
+                cells.add(record["spec"])
+        elif rec == "event":
+            events[record.get("name", "?")] = \
+                events.get(record.get("name", "?"), 0) + 1
+            if record.get("spec"):
+                cells.add(record["spec"])
+        elif rec == "backoff":
+            backoff["cells_with_telemetry"].add(record.get("spec", "?"))
+            backoff["daemon_runs"] += 1
+            backoff["thrash_events"] += bool(record.get("thrashing"))
+            delta = record.get("threshold_delta")
+            if delta:
+                backoff[f"threshold_{delta}s"] += 1
+            delta = record.get("interval_delta")
+            if delta == "stretch":
+                backoff["interval_stretches"] += 1
+            elif delta == "reset":
+                backoff["interval_resets"] += 1
+            if record.get("relocation") == "disabled":
+                backoff["relocation_disables"] += 1
+            elif record.get("relocation") == "re-enabled":
+                backoff["relocation_reenables"] += 1
+    backoff["cells_with_telemetry"] = len(backoff["cells_with_telemetry"])
+    return {"spans": spans, "events": events, "cells": sorted(cells),
+            "backoff": backoff}
+
+
+def render_summary(records: list[dict], run_name: str = "") -> str:
+    """Human-readable one-run summary (``repro obs summary``)."""
+    agg = summarize(records)
+    lines = [f"telemetry run {run_name}: {len(records)} record(s),"
+             f" {len(agg['cells'])} cell(s)"]
+    if agg["spans"]:
+        lines.append("spans:")
+        for name, s in sorted(agg["spans"].items(),
+                              key=lambda kv: -kv[1]["total_s"]):
+            lines.append(f"  {name:<12} x{s['count']:<4}"
+                         f" total {s['total_s']:8.3f}s"
+                         f"  max {s['max_s']:8.3f}s")
+    if agg["events"]:
+        lines.append("cell events: " + "  ".join(
+            f"{name}={count}" for name, count in sorted(agg["events"].items())))
+    b = agg["backoff"]
+    if b["daemon_runs"]:
+        lines.append(
+            f"backoff: {b['daemon_runs']} daemon run(s) across"
+            f" {b['cells_with_telemetry']} cell(s) --"
+            f" {b['thrash_events']} thrash,"
+            f" {b['threshold_raises']} raise / {b['threshold_lowers']} lower,"
+            f" {b['interval_stretches']} stretch /"
+            f" {b['interval_resets']} reset,"
+            f" {b['relocation_disables']} disable /"
+            f" {b['relocation_reenables']} re-enable")
+    elif not agg["spans"] and not agg["events"]:
+        lines.append("(empty run)")
+    return "\n".join(lines)
+
+
+def backoff_specs(records: list[dict]) -> list[str]:
+    """Cells with backoff rows, most rows first (timeline's default)."""
+    counts: dict[str, int] = {}
+    for record in records:
+        if record.get("rec") == "backoff":
+            spec = record.get("spec", "?")
+            counts[spec] = counts.get(spec, 0) + 1
+    return [spec for spec, _ in
+            sorted(counts.items(), key=lambda kv: -kv[1])]
+
+
+def render_timeline(records: list[dict], spec: str | None = None,
+                    node: int | None = None, limit: int = 60) -> str:
+    """One cell's backoff trajectory (``repro obs timeline``).
+
+    Rows are daemon runs in clock order; ``|`` markers between them are
+    barrier releases (phase boundaries).  *spec* defaults to the cell
+    with the most backoff rows; *node* filters to one node.
+    """
+    if spec is None:
+        candidates = backoff_specs(records)
+        if not candidates:
+            return "no backoff telemetry in this run (simulate with --obs)"
+        spec = candidates[0]
+    rows = [r for r in records
+            if r.get("spec") == spec and r.get("rec") in ("backoff", "phase")]
+    rows.sort(key=lambda r: (r.get("clock", 0), r.get("rec") == "phase"))
+    if node is not None:
+        rows = [r for r in rows
+                if r["rec"] == "phase" or r.get("node") == node]
+    lines = [f"backoff timeline for {spec}"
+             + (f" (node {node})" if node is not None else "")]
+    header = (f"{'clock':>12} {'node':>4} {'thr':>5} {'interval':>9}"
+              f" {'reloc':>6}  flags")
+    lines.append(header)
+    shown = 0
+    for row in rows:
+        if row["rec"] == "phase":
+            lines.append(f"{row.get('clock', 0):>12} "
+                         f"---- barrier {row.get('barrier')} ----")
+            continue
+        if shown >= limit:
+            lines.append(f"... ({len(rows) - shown} more daemon runs)")
+            break
+        flags = []
+        if row.get("thrashing"):
+            flags.append("THRASH")
+        if row.get("threshold_delta"):
+            flags.append(f"thr-{row['threshold_delta']}")
+        if row.get("interval_delta"):
+            flags.append(f"int-{row['interval_delta']}")
+        if row.get("relocation"):
+            flags.append(f"reloc-{row['relocation']}")
+        lines.append(f"{row.get('clock', 0):>12} {row.get('node', -1):>4}"
+                     f" {row.get('threshold', 0):>5}"
+                     f" {row.get('interval', 0):>9}"
+                     f" {'on' if row.get('enabled') else 'off':>6}"
+                     f"  {' '.join(flags)}")
+        shown += 1
+    if shown == 0:
+        lines.append(f"(no daemon runs recorded for {spec})")
+    return "\n".join(lines)
+
+
+#: Column order of the CSV export's backoff rows.
+_CSV_FIELDS = ("spec", "node", "clock", "thrashing", "reclaimed", "target",
+               "free", "threshold", "interval", "enabled",
+               "threshold_delta", "interval_delta", "relocation")
+
+
+def export_records(records: list[dict], fmt: str = "json",
+                   kinds: tuple = ()) -> str:
+    """Serialise one run's records (``repro obs export``).
+
+    ``fmt="json"`` dumps the (optionally kind-filtered) records as a
+    JSON array; ``fmt="csv"`` exports the backoff time series in a
+    fixed column order for spreadsheet/plotting tools.
+    """
+    if kinds:
+        records = [r for r in records if r.get("rec") in kinds]
+    if fmt == "json":
+        return json.dumps(records, indent=2, sort_keys=True)
+    if fmt != "csv":
+        raise ValueError(f"unknown export format {fmt!r} (json|csv)")
+    rows = [r for r in records if r.get("rec") == "backoff"]
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=_CSV_FIELDS, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return out.getvalue()

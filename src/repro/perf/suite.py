@@ -1,6 +1,6 @@
 """The curated microbenchmark suite behind ``python -m repro bench``.
 
-Six benchmark families, chosen to bracket the simulator's cost
+Seven benchmark families, chosen to bracket the simulator's cost
 structure (docs/performance.md):
 
 * ``single:<app>/<arch>`` -- one evaluation cell per architecture, so a
@@ -17,7 +17,11 @@ structure (docs/performance.md):
 * ``tracegen_cached:<app>`` -- the same workload served from the trace
   cache, with the cold generation time and speedup in ``meta``;
 * ``checker:<app>/<arch>`` -- a cell replayed under the online
-  invariant checker, pinning the checker-on overhead factor.
+  invariant checker, pinning the checker-on overhead factor;
+* ``obs_overhead`` -- the matrix micro slice with full ``--obs``
+  telemetry (spans + kind-filtered backoff time series + JSONL sink)
+  versus plain, pinning the observability overhead factor that the
+  regression gate holds at <=2%.
 
 Workload generation is hoisted out of every replay measurement (traces
 are cached and replayed many times in real sweeps), and engine benches
@@ -44,7 +48,7 @@ __all__ = ["MICRO_SCALE", "E2E_SCALE", "ALL_APPS", "MATRIX_APPS",
            "MATRIX_PRESSURE", "MATRIX_CELLS",
            "bench_single_cell", "bench_matrix_micro", "bench_matrix_e2e",
            "bench_trace_generation", "bench_trace_generation_cached",
-           "bench_checker_overhead", "run_suite",
+           "bench_checker_overhead", "bench_obs_overhead", "run_suite",
            "bench_payload", "load_bench_json"]
 
 #: Workload scale all replay microbenchmarks run at: large enough that
@@ -242,6 +246,59 @@ def bench_checker_overhead(app: str = "fft", arch: str = "ASCOMA",
     return result
 
 
+def bench_obs_overhead(repeats: int = 3) -> BenchResult:
+    """The matrix micro slice with ``--obs`` telemetry vs without.
+
+    The observed run reproduces exactly what the executor adds per cell
+    under ``--obs``: a cell/simulate span pair, a kind-filtered
+    :class:`~repro.obs.BackoffTelemetry` on the engine's event bus, the
+    merged backoff rows and the per-cell summary record, all written to
+    a real JSONL sink.  ``meta["overhead_x"]`` is the factor users pay
+    for ``--obs``; ``benchmarks/test_perf_regression.py`` gates it at
+    <=2% (the budget that motivated kind-filtered subscriptions — a
+    full observer would cost 2-4x by disabling the replay fast path).
+    """
+    from ..obs import BackoffTelemetry, ObsSink, SpanRecorder
+    from ..runtime import RunSpec
+
+    wls = {app: get_workload(app, MICRO_SCALE) for app in MATRIX_APPS}
+    events = sum(_workload_events(wls[app]) for app, _, _ in MATRIX_CELLS)
+    specs = {cell: RunSpec.make(*cell, scale=MICRO_SCALE)
+             for cell in MATRIX_CELLS}
+
+    def plain_once() -> None:
+        for app, arch, pr in MATRIX_CELLS:
+            _engine(wls[app], arch, pr).run()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def observed_once() -> None:
+            obs = SpanRecorder(ObsSink(tmp))
+            for cell in MATRIX_CELLS:
+                app, arch, pr = cell
+                spec = specs[cell]
+                telemetry = BackoffTelemetry()
+                with obs.span("cell", spec=spec):
+                    engine = _engine(wls[app], arch, pr)
+                    telemetry.attach(engine)
+                    with obs.span("simulate", spec=spec):
+                        engine.run()
+                    obs.backoff_rows(spec, telemetry.rows)
+                    obs.emit("backoff_summary", spec=spec.label(),
+                             spec_hash=spec.spec_hash(),
+                             **telemetry.counters())
+            obs.sink.close()
+
+        plain = run_bench("_plain", plain_once, events, repeats)
+        result = run_bench("obs_overhead", observed_once, events, repeats,
+                           meta={"cells": len(MATRIX_CELLS),
+                                 "apps": MATRIX_APPS,
+                                 "pressure": MATRIX_PRESSURE,
+                                 "scale": MICRO_SCALE})
+    result.meta["plain_wall_s"] = round(plain.wall_s, 6)
+    result.meta["overhead_x"] = round(result.wall_s / plain.wall_s, 3)
+    return result
+
+
 def run_suite(repeats: int = 3, only: str | None = None) -> list[BenchResult]:
     """Run the whole curated suite; *only* filters by name substring.
 
@@ -259,12 +316,13 @@ def run_suite(repeats: int = 3, only: str | None = None) -> list[BenchResult]:
         *(lambda a=app: bench_trace_generation_cached(a, repeats=repeats)
           for app in ALL_APPS),
         lambda: bench_checker_overhead(repeats=repeats),
+        lambda: bench_obs_overhead(repeats=repeats),
     ]
     names = [f"single:fft/{arch}" for arch in ARCHITECTURES]
     names += ["matrix_micro", "matrix_e2e"]
     names += [f"tracegen:{app}" for app in ALL_APPS]
     names += [f"tracegen_cached:{app}" for app in ALL_APPS]
-    names += ["checker:fft/ASCOMA"]
+    names += ["checker:fft/ASCOMA", "obs_overhead"]
     results = []
     for name, bench in zip(names, benches):
         if only and only not in name:

@@ -136,7 +136,8 @@ class RunSpec:
                 f"(x{self.scale:g}){extra}")
 
     # -- execution ------------------------------------------------------
-    def execute(self, check: bool = False, traces=None) -> RunResult:
+    def execute(self, check: bool = False, traces=None,
+                telemetry=None) -> RunResult:
         """Run this cell's simulation (no result caching — see the executor).
 
         ``check=True`` attaches an online
@@ -144,6 +145,13 @@ class RunSpec:
         the result then reports ``invariant_violations``.  *check* is a
         runtime mode, not part of the spec, so it never enters the
         content hash — checked runs bypass the result store instead.
+
+        *telemetry* is an optional
+        :class:`~repro.obs.BackoffTelemetry` to attach to the engine's
+        event bus (kind-filtered, so the replay fast path stays on).
+        Like *check* it is a runtime mode: the rows it collects live on
+        the telemetry object, never in the :class:`RunResult`, so
+        cached results stay byte-identical with and without ``--obs``.
 
         *traces* short-circuits workload acquisition with an explicit
         :class:`~repro.sim.trace.WorkloadTraces` (the caller vouches it
@@ -172,6 +180,8 @@ class RunSpec:
         if check:
             from ..check import InvariantChecker
             InvariantChecker.attach(engine)
+        if telemetry is not None:
+            telemetry.attach(engine)
         return engine.run()
 
 

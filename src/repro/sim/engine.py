@@ -167,7 +167,7 @@ class Engine:
                  else self._run_fast())
 
         events = self._events
-        if events.observers:
+        if events.watching(EV_END):
             events.clock = max(clock) if clock else 0
             events.publish(EV_END, -1, -1)
 
@@ -211,7 +211,7 @@ class Engine:
         if self.sampler is not None:
             self.sampler.sample(release, nodes)
         events = self._events
-        if events.observers:
+        if events.watching(EV_BARRIER):
             events.clock = release
             events.publish(EV_BARRIER, -1, -1, barrier=ids.pop())
 

@@ -67,24 +67,61 @@ class EventBus:
     ``publish`` returns immediately when no observer is subscribed;
     publish *sites* may additionally guard on ``bus.observers`` to skip
     building event details entirely.
+
+    Kind-filtered subscriptions (``subscribe(obs, kinds=...)``) exist
+    for telemetry that must not slow the replay hot path: a filtered
+    observer never appears in ``observers``, so the engine's inlined
+    fast path (which disables itself while ``observers`` is non-empty)
+    and the per-event publish guards stay on.  The trade-off is that a
+    filtered observer only sees kinds whose publish sites guard on
+    :meth:`watching` rather than on ``observers`` — today the rare
+    run-structure kinds (``EV_DAEMON``, ``EV_BARRIER``, ``EV_END``),
+    which is exactly the set :class:`repro.obs.BackoffTelemetry` needs.
     """
 
-    __slots__ = ("observers", "clock")
+    __slots__ = ("observers", "clock", "kind_observers")
 
     def __init__(self) -> None:
         self.observers: list = []
+        #: kind -> observers that only want that kind (see class docs).
+        self.kind_observers: dict = {}
         self.clock = 0
 
-    def subscribe(self, observer) -> None:
-        """Register ``observer(event: SimEvent)`` for every publish."""
-        self.observers.append(observer)
+    def subscribe(self, observer, kinds=None) -> None:
+        """Register ``observer(event: SimEvent)``.
+
+        With *kinds* (an iterable of event-kind strings) the observer
+        is kind-filtered: it sees only those kinds, and it does not
+        disturb the ``observers``-guarded fast paths.
+        """
+        if kinds is None:
+            self.observers.append(observer)
+        else:
+            for kind in kinds:
+                self.kind_observers.setdefault(kind, []).append(observer)
 
     def unsubscribe(self, observer) -> None:
-        self.observers.remove(observer)
+        if observer in self.observers:
+            self.observers.remove(observer)
+            return
+        for kind in list(self.kind_observers):
+            subscribers = self.kind_observers[kind]
+            while observer in subscribers:
+                subscribers.remove(observer)
+            if not subscribers:
+                del self.kind_observers[kind]
+
+    def watching(self, kind: str) -> bool:
+        """Would a publish of *kind* reach any observer right now?"""
+        return bool(self.observers) or kind in self.kind_observers
 
     def publish(self, kind: str, node: int, page: int, **detail) -> None:
-        if not self.observers:
+        filtered = self.kind_observers.get(kind)
+        if not self.observers and not filtered:
             return
         event = SimEvent(kind, node, page, self.clock, detail)
         for observer in self.observers:
             observer(event)
+        if filtered:
+            for observer in filtered:
+                observer(event)

@@ -219,7 +219,8 @@ class Node:
         """Invoke the pageout daemon when the pool is low (rate-limited)."""
         if self.daemon.due(now):
             events = self.events
-            if events.observers:
+            watched = events.watching(EV_DAEMON)
+            if watched:
                 events.clock = now
             result = self.daemon.run(now)
             self.stats.K_OVERHD += result.cost
@@ -227,12 +228,18 @@ class Node:
             if result.thrashing:
                 self.stats.daemon_thrash += 1
             self.policy.on_daemon_result(self.policy_state, result, self.daemon)
-            if events.observers:
+            if watched:
+                # Published after on_daemon_result, so threshold/interval
+                # carry the *post-backoff* state of the adaptive machinery.
+                threshold = self.policy_state.effective_threshold()
                 events.publish(
                     EV_DAEMON, self.id, -1,
                     reclaimed=result.reclaimed, target=result.target,
                     thrashing=result.thrashing,
-                    threshold=self.policy_state.effective_threshold())
+                    threshold=threshold,
+                    interval=self.daemon.interval,
+                    enabled=threshold > 0,
+                    free=self.pool.free)
 
     def acquire_frame(self, now: int) -> bool:
         """Try to get a free frame, running the daemon first if it is due."""

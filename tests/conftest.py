@@ -37,6 +37,13 @@ def isolated_trace_dir(tmp_path, monkeypatch):
     clear_trace_memo()
 
 
+@pytest.fixture(autouse=True)
+def isolated_obs_dir(tmp_path, monkeypatch):
+    """Same isolation for run telemetry (``results/obs``)."""
+    monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "obs"))
+    return tmp_path / "obs"
+
+
 @pytest.fixture
 def amap() -> AddressMap:
     return AddressMap()

@@ -47,6 +47,25 @@ class TestParser:
         assert args.repeats == 3
         assert args.only is None and args.out is None and args.baseline is None
 
+    def test_obs_flags_on_run_and_matrix(self):
+        args = build_parser().parse_args(["run", "fft", "ascoma", "--obs"])
+        assert args.obs and not args.no_obs
+        args = build_parser().parse_args(["matrix", "--no-obs"])
+        assert args.no_obs and not args.obs
+        # commands without a telemetry surface have no obs attribute
+        args = build_parser().parse_args(["table", "1"])
+        assert not hasattr(args, "obs")
+
+    def test_obs_subcommand_defaults(self):
+        args = build_parser().parse_args(["obs", "summary"])
+        assert args.action == "summary"
+        assert args.run is None and args.format == "json"
+        args = build_parser().parse_args(
+            ["obs", "export", "--format", "csv", "--out", "x.csv"])
+        assert args.format == "csv" and args.out == "x.csv"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "prune"])
+
 
 class TestCommands:
     def test_table_1_static(self, capsys):
@@ -232,6 +251,70 @@ class TestStoreCommand:
         assert main(args) == 0
         second = capsys.readouterr().out
         assert second == first  # identical output, served from the store
+
+
+class TestObsCommand:
+    RUN_ARGS = ["--scale", "0.1", "run", "em3d", "ascoma",
+                "--pressure", "0.9", "--obs"]
+
+    def test_run_with_obs_writes_telemetry(self, capsys, isolated_obs_dir):
+        assert main(self.RUN_ARGS) == 0
+        captured = capsys.readouterr()
+        assert "telemetry:" in captured.err
+        runs = list(isolated_obs_dir.glob("*.jsonl"))
+        assert len(runs) == 1
+
+    def test_obs_summary_renders_latest_run(self, capsys):
+        assert main(self.RUN_ARGS) == 0
+        capsys.readouterr()
+        assert main(["obs", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry run" in out
+        assert "simulate" in out and "backoff" in out
+
+    def test_obs_timeline_shows_backoff_trajectory(self, capsys):
+        assert main(self.RUN_ARGS) == 0
+        capsys.readouterr()
+        assert main(["obs", "timeline", "--cell", "em3d"]) == 0
+        out = capsys.readouterr().out
+        assert "em3d/ASCOMA@90%" in out
+        assert "thr-raise" in out and "int-stretch" in out
+
+    def test_obs_export_smoke(self, capsys, tmp_path):
+        """CI satellite: export both formats, --out and stdout paths."""
+        import csv
+        import json
+        assert main(self.RUN_ARGS) == 0
+        capsys.readouterr()
+        assert main(["obs", "export"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert any(r.get("rec") == "backoff" for r in records)
+        out_path = tmp_path / "backoff.csv"
+        assert main(["obs", "export", "--format", "csv",
+                     "--out", str(out_path)]) == 0
+        assert "exported" in capsys.readouterr().out
+        rows = list(csv.DictReader(out_path.open()))
+        assert rows and rows[0]["spec"].startswith("em3d/ASCOMA")
+        assert any(r["threshold_delta"] == "raise" for r in rows)
+
+    def test_obs_without_runs_fails_cleanly(self, capsys):
+        assert main(["obs", "summary"]) == 2
+        assert "--obs" in capsys.readouterr().err
+
+    def test_env_var_enables_and_no_obs_wins(self, capsys, monkeypatch,
+                                             isolated_obs_dir):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        args = ["--scale", "0.1", "run", "fft", "ascoma", "--pressure", "0.5"]
+        assert main(args + ["--no-obs"]) == 0
+        assert not list(isolated_obs_dir.glob("*.jsonl"))
+        assert main(args) == 0
+        assert len(list(isolated_obs_dir.glob("*.jsonl"))) == 1
+
+    def test_obs_off_is_the_default(self, capsys, isolated_obs_dir):
+        assert main(["--scale", "0.1", "run", "fft", "ascoma",
+                     "--pressure", "0.5"]) == 0
+        assert "telemetry" not in capsys.readouterr().err
+        assert not isolated_obs_dir.exists()
 
 
 class TestScorecard:

@@ -110,6 +110,23 @@ class TestScheduling:
         h.daemon.stretch_interval(2.0, cap=3000)
         assert h.daemon.interval == 3000
 
+    def test_stretch_interval_cap_below_base_wins(self):
+        # Regression: the base_interval floor used to be applied after
+        # the cap, so a cap below base_interval was silently ignored
+        # and the interval stayed at 1000 instead of clamping to 500.
+        h = Harness()
+        assert h.daemon.base_interval == 1000
+        h.daemon.stretch_interval(2.0, cap=500)
+        assert h.daemon.interval == 500
+
+    def test_stretch_interval_cap_is_absolute_ceiling(self):
+        h = Harness()
+        h.daemon.stretch_interval(8.0, cap=3000)
+        assert h.daemon.interval == 3000
+        # A later stretch with a tighter cap pulls the interval down.
+        h.daemon.stretch_interval(2.0, cap=1500)
+        assert h.daemon.interval == 1500
+
     def test_reset_interval(self):
         h = Harness()
         h.daemon.stretch_interval(4.0)

@@ -7,8 +7,8 @@ import pytest
 from repro.harness.experiment import run_app
 from repro.harness.parallel import run_cells
 from repro.runtime import (RunFailure, RunSpec, RunStore, execute,
-                           execute_spec, get_default_store, run_spec,
-                           use_store)
+                           execute_spec, get_default_store, log_progress,
+                           run_spec, use_store)
 from repro.runtime import store as store_mod
 from repro.sim.stats import RunResult
 
@@ -244,6 +244,156 @@ class TestFaultIsolation:
         out = run_spec(self.GOOD[0], retries=1)
         assert isinstance(out, RunResult)
         assert len(attempts) == 2
+
+
+class TestStoreFaultIsolation:
+    SPEC2 = RunSpec("fft", "CCNUMA", 0.5, SCALE)
+
+    class FailingPutStore(RunStore):
+        def put(self, spec, result):
+            raise OSError("disk full")
+
+    def test_failing_put_keeps_the_result(self, tmp_path):
+        """Satellite bugfix: a raising store.put after a successful
+        simulate must not kill the sweep — the RunResult survives."""
+        store = self.FailingPutStore(tmp_path)
+        out = execute([SPEC, self.SPEC2], store=store, parallel=False)
+        assert all(isinstance(r, RunResult) for r in out.values())
+        assert len(out) == 2
+
+    def test_failing_put_surfaces_store_fail_event(self, tmp_path):
+        events = []
+        out = execute([SPEC], store=self.FailingPutStore(tmp_path),
+                      parallel=False,
+                      progress=lambda e, s, d="": events.append((e, s, d)))
+        assert isinstance(out[SPEC], RunResult)
+        (event, spec, detail) = events[0]
+        assert event == "store-fail" and spec == SPEC
+        assert "OSError" in detail and "disk full" in detail
+        # no "run" event for the cell: it completed but was not stored
+        assert [e for e, _, _ in events] == ["store-fail"]
+
+    def test_execute_spec_propagates_store_failure(self, tmp_path):
+        """The single-cell path keeps its raise-to-caller contract."""
+        with pytest.raises(OSError, match="disk full"):
+            execute_spec(SPEC, store=self.FailingPutStore(tmp_path))
+
+
+class TestProgress:
+    GOOD = [RunSpec("fft", "CCNUMA", 0.5, SCALE),
+            RunSpec("fft", "SCOMA", 0.5, SCALE)]
+    BAD = RunSpec("fft", "BOGUS", 0.5, SCALE)
+
+    @staticmethod
+    def _collect(events):
+        return lambda e, s, d="": events.append((e, s))
+
+    def test_event_kinds_and_order_with_store(self, tmp_path):
+        """Hits fire first (in spec order, during the store scan), then
+        one run/fail per simulated cell in dispatch order."""
+        store = RunStore(tmp_path)
+        events: list = []
+        execute([self.GOOD[0], self.BAD, self.GOOD[1]], store=store,
+                parallel=False, progress=self._collect(events))
+        assert events == [("run", self.GOOD[0]), ("fail", self.BAD),
+                          ("run", self.GOOD[1])]
+        events.clear()
+        execute([self.GOOD[0], self.BAD, self.GOOD[1]], store=store,
+                parallel=False, progress=self._collect(events))
+        assert events == [("hit", self.GOOD[0]), ("hit", self.GOOD[1]),
+                          ("fail", self.BAD)]
+
+    def test_dedupe_reports_each_cell_once(self, tmp_path):
+        events: list = []
+        execute([self.GOOD[0], RunSpec("fft", "cc-numa", 0.5, SCALE)],
+                store=RunStore(tmp_path), parallel=False,
+                progress=self._collect(events))
+        assert events == [("run", self.GOOD[0])]
+
+    def test_refresh_reruns_cached_cells(self, tmp_path):
+        store = RunStore(tmp_path)
+        execute([self.GOOD[0]], store=store, parallel=False)
+        events: list = []
+        execute([self.GOOD[0]], store=store, parallel=False, refresh=True,
+                progress=self._collect(events))
+        assert events == [("run", self.GOOD[0])]
+
+    def test_store_disabled_never_hits(self):
+        events: list = []
+        for _ in range(2):
+            execute([self.GOOD[0]], store=None, parallel=False,
+                    progress=self._collect(events))
+        assert events == [("run", self.GOOD[0])] * 2
+
+    def test_log_progress_formatting(self):
+        import io
+        stream = io.StringIO()
+        log_progress("hit", SPEC, stream=stream)
+        log_progress("run", SPEC, stream=stream)
+        log_progress("fail", SPEC, "RuntimeError: boom", stream=stream)
+        log_progress("store-fail", SPEC, "OSError: disk full", stream=stream)
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == f"[cached] {SPEC.label()}"
+        assert lines[1] == f"[   ran] {SPEC.label()}"
+        assert lines[2] == f"[FAILED] {SPEC.label()} (RuntimeError: boom)"
+        assert lines[3] == f"[!store] {SPEC.label()} (OSError: disk full)"
+
+
+class TestPoolSizing:
+    GOOD = [RunSpec("fft", "CCNUMA", 0.5, SCALE),
+            RunSpec("fft", "SCOMA", 0.5, SCALE)]
+
+    @pytest.fixture
+    def fake_pool(self, monkeypatch):
+        """Replace the executor's pool with an inline stand-in that
+        records the worker count each construction asked for."""
+        from repro.runtime import executor as executor_mod
+        sizes: list = []
+
+        class FakePool:
+            def __init__(self, max_workers=None, initializer=None,
+                         initargs=()):
+                sizes.append(max_workers)
+                if initializer:
+                    initializer(*initargs)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, payloads, chunksize=1):
+                return [fn(p) for p in payloads]
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", FakePool)
+        return sizes
+
+    def test_workers_clamped_to_cell_count(self, fake_pool):
+        """Satellite bugfix: ``--workers 8`` with 2 cells must fork 2
+        workers, not 8 idle ones."""
+        out = execute(self.GOOD, store=None, parallel=True, max_workers=8)
+        assert fake_pool == [2]
+        assert all(isinstance(r, RunResult) for r in out.values())
+
+    def test_single_cell_runs_inline(self, fake_pool):
+        out = execute([SPEC], store=None, parallel=True, max_workers=8)
+        assert fake_pool == []  # no pool for a 1-cell dispatch
+        assert isinstance(out[SPEC], RunResult)
+
+    def test_one_worker_legacy_pool_runs_inline(self, fake_pool):
+        """Satellite bugfix: the legacy path used to fork a pool even
+        for a single worker; it now routes inline like the new path."""
+        out = execute(self.GOOD, store=None, parallel=True, max_workers=1,
+                      legacy_pool=True)
+        assert fake_pool == []
+        assert all(isinstance(r, RunResult) for r in out.values())
+
+    def test_legacy_pool_with_multiple_workers_still_forks(self, fake_pool):
+        out = execute(self.GOOD, store=None, parallel=True, max_workers=2,
+                      legacy_pool=True)
+        assert fake_pool == [2]
+        assert all(isinstance(r, RunResult) for r in out.values())
 
 
 class TestDedupe:
