@@ -8,10 +8,11 @@ differences between the committing machine and the test machine are
 real, so the gate is deliberately loose -- it exists to catch
 order-of-magnitude regressions (an accidentally disabled fast path, a
 per-event allocation creeping back in, the trace cache silently
-missing), not single-digit noise.  Three hardware-independent
-self-checks back it up, all measured as same-process ratios: the fast
+missing), not single-digit noise.  Four hardware-independent
+self-checks back it up, all measured as same-machine ratios: the fast
 path must outrun the reference loop, a trace-cache hit must beat
-regeneration, and ``--obs`` telemetry must stay within its 2% budget.
+regeneration, ``--obs`` telemetry must stay within its 2% budget, and
+a warm-server round-trip must beat a cold CLI invocation by >=5x.
 
 Opt-in: wall-clock assertions are inherently flaky on loaded CI
 runners, so these tests skip unless ``REPRO_PERF=1`` is set::
@@ -106,6 +107,23 @@ def test_obs_overhead_within_budget():
         f"--obs overhead {result.meta['overhead_x']:.3f}x exceeds the 1.02x "
         f"budget (observed {result.wall_s:.4f}s vs plain "
         f"{result.meta['plain_wall_s']:.4f}s)")
+
+
+def test_serve_warm_beats_cold_cli():
+    """The serve layer's acceptance claim: a warm-server submit->result
+    round-trip for a cached cell must be at least 5x faster than a cold
+    ``repro run`` process invocation of the same cached cell.  Measured
+    as a same-machine ratio (both sides pay this host's disk and CPU),
+    so the gate is hardware independent; a failure means the server is
+    paying per-job costs it exists to amortise (imports, trace/store
+    setup, pool spin-up) on every submit."""
+    from repro.perf import bench_serve_warm
+
+    result = bench_serve_warm(repeats=2)
+    assert result.meta["speedup_x"] >= 5.0, (
+        f"warm serve round-trip ({result.meta['roundtrip_s']:.4f}s) is only "
+        f"{result.meta['speedup_x']:.1f}x faster than a cold CLI run "
+        f"({result.meta['cold_cli_s']:.4f}s); the gate requires >=5x")
 
 
 def test_fast_path_beats_reference(committed):

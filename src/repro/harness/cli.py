@@ -16,8 +16,21 @@ Commands
                        (info|list|clear|trace-info|trace-list|trace-clear)
 ``obs ACTION``         inspect recorded run telemetry
                        (summary|timeline|export)
+``serve``              run the persistent async job server
+``submit APP ARCH``    submit one run to a running server
+``jobs``               list a running server's jobs
 
 Every command accepts ``--scale`` (workload scale, default 0.5).
+
+Serving
+-------
+``repro serve`` keeps traces, the result store and a warm worker pool
+resident and accepts jobs over a Unix socket (default
+``results/serve.sock``, or ``$REPRO_SERVE_SOCKET``/``--socket``;
+``--tcp HOST:PORT`` for TCP).  ``repro submit``/``repro jobs`` are thin
+clients, and ``run``/``matrix`` accept ``--server PATH`` to route
+through a running server — falling back to in-process execution when
+none is listening.  See ``docs/serving.md`` for the protocol.
 
 Caching
 -------
@@ -96,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure", help="regenerate one app's Figure 2/3 charts")
     p.add_argument("app")
 
+    def add_server_flag(p, default=None) -> None:
+        p.add_argument("--server", default=default, metavar="SOCKET",
+                       help="route through a running job server at this"
+                            " Unix socket (falls back to in-process"
+                            " execution when none is listening)")
+
     p = sub.add_parser("run", help="run one simulation")
     p.add_argument("app")
     p.add_argument("arch")
@@ -106,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="attach the online invariant checker"
                         " (bypasses the result store)")
+    add_server_flag(p)
     add_obs_flags(p)
 
     p = sub.add_parser("sweep", help="pressure sweep for one app")
@@ -127,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="attach the online invariant checker to every"
                         " cell (bypasses the result store)")
+    add_server_flag(p)
     add_obs_flags(p)
 
     sub.add_parser("claims", help="paper-claim scorecard")
@@ -192,6 +213,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="export format (default json)")
     p.add_argument("--out", default=None, metavar="FILE",
                    help="export: write here instead of stdout")
+
+    p = sub.add_parser("serve",
+                       help="run the persistent async job server")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="Unix socket to listen on (default"
+                        " results/serve.sock or $REPRO_SERVE_SOCKET)")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="listen on TCP instead of a Unix socket")
+    p.add_argument("--workers", type=int, default=None,
+                   help="simulation worker count (default: CPU count)")
+    p.add_argument("--inline", action="store_true",
+                   help="simulate on threads in the server process"
+                        " instead of a worker pool (lowest submit"
+                        " latency; best for store-hit-heavy traffic)")
+    p.add_argument("--max-queued", type=int, default=32,
+                   help="live-job bound before submits are rejected"
+                        " with backpressure (default 32)")
+    p.add_argument("--keep-jobs", type=int, default=256,
+                   help="terminal jobs retained for status/result"
+                        " queries (default 256)")
+    add_obs_flags(p)
+
+    p = sub.add_parser("submit",
+                       help="submit one run to a running job server")
+    p.add_argument("app")
+    p.add_argument("arch")
+    p.add_argument("--pressure", type=float, default=0.7)
+    p.add_argument("--quantum", type=int, default=None)
+    p.add_argument("--detach", action="store_true",
+                   help="return the job id immediately instead of"
+                        " streaming progress and waiting")
+    add_server_flag(p)
+
+    p = sub.add_parser("jobs", help="list a running server's jobs")
+    add_server_flag(p)
     return parser
 
 
@@ -212,13 +268,10 @@ def _cmd_figure(args) -> str:
     return render_figure(args.app, scale=args.scale)
 
 
-def _cmd_run(args) -> str:
-    from .experiment import run_app
-    result = run_app(args.app, args.arch, args.pressure, scale=args.scale,
-                     check=args.check, quantum=args.quantum)
+def _run_summary(app: str, pressure: float, result) -> str:
     agg = result.aggregate()
-    lines = [f"{args.app} / {result.architecture} at "
-             f"{args.pressure:.0%} memory pressure:",
+    lines = [f"{app} / {result.architecture} at "
+             f"{pressure:.0%} memory pressure:",
              f"  execution time : {result.execution_time():,} cycles",
              "  time breakdown : " + "  ".join(
                  f"{k}={v:,}" for k, v in agg.time_breakdown().items()),
@@ -231,6 +284,58 @@ def _cmd_run(args) -> str:
         lines.append(f"  invariants     : {result.invariant_violations}"
                      " violation(s)")
     return "\n".join(lines)
+
+
+def _server_client(args):
+    """A connected ``ServeClient`` for ``--server``, or ``None``.
+
+    ``None`` means "fall back to in-process execution" — either no
+    ``--server`` was given or nothing answers at the socket (a note
+    goes to stderr so the fallback is never silent).
+    """
+    server = getattr(args, "server", None)
+    if not server:
+        return None
+    from ..serve import ServeClient, server_available
+    if not server_available(server):
+        print(f"no job server at {server}; running in-process",
+              file=sys.stderr)
+        return None
+    return ServeClient(server)
+
+
+def _print_cell_events(event: dict, stream=None) -> None:
+    """Progress printer for streamed server events (log_progress style)."""
+    if event.get("ev") != "cell":
+        return
+    tag = {"hit": "cached", "run": "ran", "fail": "FAILED",
+           "attach": "attach", "store-fail": "!store"}.get(
+        event.get("name"), event.get("name"))
+    line = f"[{tag:>6}] {event.get('spec')}"
+    if event.get("error"):
+        line += f" ({event['error']})"
+    print(line, file=stream or sys.stderr)
+
+
+def _cmd_run(args) -> str:
+    from .experiment import run_app
+    if not args.check:
+        client = _server_client(args)
+        if client is not None:
+            from ..runtime import RunFailure, RunSpec
+            with client:
+                spec = RunSpec(args.app, args.arch, args.pressure,
+                               args.scale, quantum=args.quantum)
+                job = client.submit([spec], stream=True,
+                                    on_event=_print_cell_events)
+                outcome = client.outcomes(job["id"]).get(spec)
+            if outcome is None or isinstance(outcome, RunFailure):
+                raise ValueError(outcome.label() if outcome is not None
+                                 else f"job {job['id']} returned no result")
+            return _run_summary(args.app, args.pressure, outcome)
+    result = run_app(args.app, args.arch, args.pressure, scale=args.scale,
+                     check=args.check, quantum=args.quantum)
+    return _run_summary(args.app, args.pressure, result)
 
 
 def _cmd_sweep(args) -> str:
@@ -267,9 +372,16 @@ def _cmd_matrix(args):
             raise ValueError(f"unknown app {app!r};"
                              f" choose from {sorted(APP_PRESSURES)}")
     specs = matrix_specs(apps, args.scale, quantum=args.quantum)
-    outcomes = execute(specs, parallel=not args.serial,
-                       max_workers=args.workers, retries=args.retries,
-                       progress=log_progress, check=args.check)
+    client = None if args.check else _server_client(args)
+    if client is not None:
+        with client:
+            job = client.submit(specs, stream=True, retries=args.retries,
+                                on_event=_print_cell_events)
+            outcomes = client.outcomes(job["id"])
+    else:
+        outcomes = execute(specs, parallel=not args.serial,
+                           max_workers=args.workers, retries=args.retries,
+                           progress=log_progress, check=args.check)
     failures = [o for o in outcomes.values() if isinstance(o, RunFailure)]
     violations = 0
     per_app: dict = {}
@@ -474,6 +586,87 @@ def _cmd_obs(args) -> str:
     return text
 
 
+def _cmd_serve(args) -> str:
+    import asyncio
+
+    from ..obs import get_default_obs
+    from ..runtime import get_default_store, get_default_trace_store
+    from ..serve import JobServer, default_socket_path
+
+    host = port = None
+    socket_path = args.socket
+    if args.tcp:
+        host, _, port_s = args.tcp.rpartition(":")
+        if not host or not port_s.isdigit():
+            raise ValueError(f"--tcp wants HOST:PORT, got {args.tcp!r}")
+        port, socket_path = int(port_s), None
+    elif socket_path is None:
+        socket_path = default_socket_path()
+    server = JobServer(
+        socket_path, host=host, port=port,
+        store=get_default_store(), trace_store=get_default_trace_store(),
+        obs=get_default_obs(),
+        backend="inline" if args.inline else "process",
+        workers=args.workers, max_queued=args.max_queued,
+        keep_jobs=args.keep_jobs)
+    print(f"serving on {server.address}"
+          f" ({server.backend} backend, {server.workers} workers,"
+          f" queue bound {server.max_queued})", file=sys.stderr)
+    try:
+        asyncio.run(server.serve())
+    except KeyboardInterrupt:
+        pass
+    stats = server.stats
+    return (f"server stopped: {stats['submitted']} job(s),"
+            f" {stats['simulated']} simulated, {stats['hits']} store"
+            f" hit(s), {stats['attached']} deduped attach(es),"
+            f" {stats['rejected']} rejected")
+
+
+def _cmd_submit(args) -> str:
+    from ..runtime import RunFailure, RunSpec
+    from ..serve import ServeClient, default_socket_path
+    spec = RunSpec(args.app, args.arch, args.pressure, args.scale,
+                   quantum=args.quantum)
+    with ServeClient(args.server or default_socket_path()) as client:
+        if args.detach:
+            job = client.submit([spec])
+            return (f"job {job['id']} queued"
+                    f" ({job['cells']} cell(s));"
+                    f" poll with: repro jobs")
+        job = client.submit([spec], stream=True,
+                            on_event=_print_cell_events)
+        outcome = client.outcomes(job["id"]).get(spec)
+    if outcome is None or isinstance(outcome, RunFailure):
+        raise ValueError(outcome.label() if outcome is not None
+                         else f"job {job['id']} returned no result")
+    return _run_summary(args.app, args.pressure, outcome)
+
+
+def _cmd_jobs(args) -> str:
+    from ..serve import ServeClient, default_socket_path
+    from .report import format_table
+    with ServeClient(args.server or default_socket_path()) as client:
+        info = client.ping()
+        jobs = client.jobs()
+    if not jobs:
+        return f"server at {client.socket_path}: no jobs"
+    rows = []
+    for job in jobs:
+        counts = job.get("counts", {})
+        rows.append([job["id"], job["state"],
+                     f"{job['completed']}/{job['cells']}",
+                     counts.get("hit", 0), counts.get("attach", 0),
+                     job["failed"],
+                     f"{job.get('wall_s', 0.0):.2f}s"
+                     if "wall_s" in job else "-"])
+    title = (f"{len(jobs)} job(s) on {client.socket_path}"
+             f" ({info['backend']} backend,"
+             f" {info['stats']['simulated']} cell(s) simulated)")
+    return format_table(["Job", "State", "Cells", "Hits", "Attached",
+                         "Failed", "Wall"], rows, title=title)
+
+
 _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
@@ -487,6 +680,9 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "store": _cmd_store,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
 }
 
 

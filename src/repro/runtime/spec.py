@@ -177,12 +177,23 @@ class RunSpec:
         policy = scaled_policy(self.arch, **dict(self.policy_overrides))
         engine = Engine(workload, policy, config=config,
                         quantum=self.quantum or DEFAULT_QUANTUM)
+        checker = None
         if check:
             from ..check import InvariantChecker
-            InvariantChecker.attach(engine)
+            checker = InvariantChecker.attach(engine)
         if telemetry is not None:
             telemetry.attach(engine)
-        return engine.run()
+        try:
+            return engine.run()
+        finally:
+            # Always unsubscribe: the bus (and its observer lists) lives
+            # as long as the engine, and long-lived callers — the serve
+            # layer keeps warm state across thousands of jobs — must not
+            # accumulate per-run observers on anything they retain.
+            if telemetry is not None:
+                telemetry.detach(engine)
+            if checker is not None:
+                checker.detach()
 
 
 @dataclass(frozen=True)

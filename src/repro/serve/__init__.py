@@ -1,0 +1,48 @@
+"""Simulation-as-a-service: the persistent async job server.
+
+The runtime layer (PR 1) made every cell a frozen, content-hashed
+:class:`~repro.runtime.spec.RunSpec` with a content-addressed result
+store; this package puts a long-running service in front of it.  A
+:class:`~repro.serve.server.JobServer` keeps the
+:class:`~repro.runtime.store.RunStore`, the trace cache and a warm
+worker pool resident across jobs, accepts concurrent submissions over
+a Unix socket (or TCP) speaking a line-delimited JSON protocol, dedupes
+identical in-flight specs across clients, streams per-cell progress and
+``repro.obs`` telemetry to subscribers, and bounds its queue with
+backpressure.  The CLI (``repro serve`` / ``repro submit`` /
+``repro jobs``, plus ``--server`` on ``run``/``matrix``) is one client
+among many; :class:`~repro.serve.client.ServeClient` is the library
+entry point.  See ``docs/serving.md``.
+"""
+
+from .client import ServeClient, ServeError, server_available
+from .jobs import TERMINAL_STATES, Job, JobTable
+from .protocol import (MAX_FRAME_BYTES, OPS, PROTOCOL_VERSION, ProtocolError,
+                       decode_frame, encode_frame, error_frame)
+from .server import (DEFAULT_SOCKET, EV_CELL, EV_JOB, EV_OBS,
+                     BackpressureError, JobServer, ServerThread,
+                     default_socket_path)
+
+__all__ = [
+    "DEFAULT_SOCKET",
+    "EV_CELL",
+    "EV_JOB",
+    "EV_OBS",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "TERMINAL_STATES",
+    "BackpressureError",
+    "Job",
+    "JobServer",
+    "JobTable",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "decode_frame",
+    "default_socket_path",
+    "encode_frame",
+    "error_frame",
+    "server_available",
+]

@@ -1,0 +1,182 @@
+"""Thin synchronous client for the ``repro.serve`` job server.
+
+One blocking socket, line-delimited JSON frames (see
+:mod:`repro.serve.protocol`).  The client is deliberately minimal — no
+threads, no retries, no reconnection magic — because the CLI and the
+test harness both want *observable* behaviour: a request is written,
+frames are read until the matching response arrives, and any ``"ev"``
+frames seen on the way are handed to the caller's ``on_event``
+callback in arrival order.
+
+    from repro.serve import ServeClient
+    with ServeClient("results/serve.sock") as client:
+        job = client.submit([spec], wait=True)
+        outcomes = client.outcomes(job["id"])
+
+``outcomes`` rebuilds real :class:`~repro.sim.stats.RunResult` /
+:class:`~repro.runtime.spec.RunFailure` objects, so code downstream of
+a server round-trip is identical to code downstream of
+:func:`repro.runtime.execute`.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from ..runtime import RunFailure, RunSpec
+from ..sim.stats import RunResult
+from .protocol import decode_frame, encode_frame
+
+__all__ = ["ServeError", "ServeClient", "server_available"]
+
+
+class ServeError(ValueError):
+    """An ``ok: false`` response; ``code`` is the protocol error code.
+
+    A :class:`ValueError` so the CLI's error handling reports it as a
+    one-line ``error: ...`` instead of a traceback.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeClient:
+    """Blocking client for one server connection."""
+
+    def __init__(self, socket_path: str | None = None, *,
+                 host: str | None = None, port: int | None = None,
+                 timeout: float | None = 300.0) -> None:
+        if host is not None and port is None:
+            raise ValueError("a TCP client needs both host and port")
+        self.socket_path = socket_path
+        self.host, self.port = host, port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # -- connection ------------------------------------------------------
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        if self.host is not None:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        else:
+            if not self.socket_path:
+                from .server import default_socket_path
+                self.socket_path = default_socket_path()
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(str(self.socket_path))
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request/response ------------------------------------------------
+    def request(self, frame: dict, on_event=None) -> dict:
+        """Send one frame; return its response, raising on ``ok: false``.
+
+        Event frames arriving before the response go to *on_event*
+        (ignored when None).  EOF before a response means the server
+        went away mid-request.
+        """
+        self.connect()
+        self._sock.sendall(encode_frame(frame))
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection"
+                                      " before responding")
+            received = decode_frame(line)
+            if "ev" in received:
+                if on_event is not None:
+                    on_event(received)
+                continue
+            if not received.get("ok", False):
+                raise ServeError(received.get("code", "error"),
+                                 received.get("error", "request failed"))
+            return received
+
+    # -- ops -------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})["server"]
+
+    def submit(self, specs, *, wait: bool = False, stream: bool = False,
+               retries: int = 0, on_event=None) -> dict:
+        """Submit specs (RunSpec values or dicts); returns the job dict."""
+        raw = []
+        for spec in ([specs] if isinstance(specs, (RunSpec, dict))
+                     else list(specs)):
+            raw.append(spec.to_dict() if isinstance(spec, RunSpec)
+                       else dict(spec))
+        frame = {"op": "submit", "specs": raw, "wait": wait,
+                 "stream": stream, "retries": retries}
+        return self.request(frame, on_event=on_event)["job"]
+
+    def status(self, job_id: str) -> dict:
+        return self.request({"op": "status", "job": job_id})["job"]
+
+    def watch(self, job_id: str, on_event=None) -> dict:
+        """Stream a live job's events until terminal; returns the job."""
+        return self.request({"op": "watch", "job": job_id},
+                            on_event=on_event)["job"]
+
+    def result(self, job_id: str) -> dict:
+        """The raw ``result`` response (job dict + per-cell payloads)."""
+        return self.request({"op": "result", "job": job_id})
+
+    def outcomes(self, job_id: str) -> dict:
+        """``{RunSpec: RunResult | RunFailure}`` for a terminal job.
+
+        The exact shape :func:`repro.runtime.execute` returns, so
+        server-routed and in-process sweeps share downstream code.
+        """
+        response = self.result(job_id)
+        outcomes: dict = {}
+        for entry in response["results"]:
+            spec = RunSpec.from_dict(entry["spec"])
+            if "failure" in entry:
+                failure = entry["failure"]
+                outcomes[spec] = RunFailure(spec, failure["error"],
+                                            failure.get("traceback", ""))
+            elif "result" in entry:
+                outcomes[spec] = RunResult.from_dict(entry["result"])
+        return outcomes
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request({"op": "cancel", "job": job_id})["job"]
+
+    def jobs(self) -> list[dict]:
+        return self.request({"op": "jobs"})["jobs"]
+
+    def shutdown(self) -> bool:
+        return self.request({"op": "shutdown"}).get("bye", False)
+
+
+def server_available(socket_path: str | None = None, *,
+                     host: str | None = None, port: int | None = None,
+                     timeout: float = 2.0) -> bool:
+    """True when a server answers a ping at the given address."""
+    try:
+        with ServeClient(socket_path, host=host, port=port,
+                         timeout=timeout) as client:
+            client.ping()
+        return True
+    except (OSError, ServeError, ValueError):
+        return False

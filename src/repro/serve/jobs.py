@@ -1,0 +1,146 @@
+"""Job bookkeeping for the ``repro.serve`` server.
+
+A :class:`Job` is one submitted batch of :class:`~repro.runtime.spec.RunSpec`
+cells moving through ``queued -> running -> done|failed|cancelled``.
+Outcomes are collected per spec hash (so duplicate specs inside one
+submission collapse, mirroring the executor), and the public dict form
+(:meth:`Job.to_dict`) is what every protocol response embeds.
+
+The :class:`JobTable` keeps every live job plus a bounded tail of
+terminal ones — a long-running server must not grow its job table
+without bound, and a client that never calls ``result`` must not pin
+results forever.  Eviction is strictly oldest-terminal-first; live jobs
+are never evicted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..runtime import RunFailure, RunSpec
+
+__all__ = ["TERMINAL_STATES", "Job", "JobTable"]
+
+#: States a job cannot leave.  ``done``: every cell has a result;
+#: ``failed``: at least one cell is a RunFailure; ``cancelled``: the
+#: client (or server shutdown) gave up on it.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass
+class Job:
+    """One submitted batch of cells and everything known about it."""
+
+    id: str
+    specs: list[RunSpec]
+    retries: int = 0
+    state: str = "queued"
+    created: float = field(default_factory=time.time)
+    finished: float | None = None
+    #: spec_hash -> RunResult | RunFailure, filled as cells complete.
+    outcomes: dict = field(default_factory=dict)
+    #: per-cell progress tallies (``hit``/``run``/``attach``/``fail``/
+    #: ``store-fail``), mirroring the executor's progress events.
+    counts: dict = field(default_factory=dict)
+    #: the asyncio.Task driving the job; None until started.
+    task: object = None
+    #: asyncio.Event set exactly once, on entering a terminal state.
+    done_event: object = None
+
+    def __post_init__(self) -> None:
+        # Duplicate specs inside one submission collapse to one cell,
+        # exactly as repro.runtime.execute dedupes its input list.
+        unique, seen = [], set()
+        for spec in self.specs:
+            key = spec.spec_hash()
+            if key not in seen:
+                seen.add(key)
+                unique.append(spec)
+        self.specs = unique
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def bump(self, event: str) -> None:
+        self.counts[event] = self.counts.get(event, 0) + 1
+
+    def failures(self) -> list[RunFailure]:
+        return [o for o in self.outcomes.values()
+                if isinstance(o, RunFailure)]
+
+    def to_dict(self) -> dict:
+        """The job as every protocol response embeds it."""
+        out = {
+            "id": self.id,
+            "state": self.state,
+            "cells": len(self.specs),
+            "completed": len(self.outcomes),
+            "failed": len(self.failures()),
+            "counts": dict(self.counts),
+            "created": round(self.created, 6),
+        }
+        if self.finished is not None:
+            out["wall_s"] = round(self.finished - self.created, 6)
+        return out
+
+    def results_payload(self) -> list[dict]:
+        """Per-cell outcome frames for the ``result`` op.
+
+        One entry per cell, in submission order; a simulated (or
+        cached) cell carries ``"result"``, a failed one ``"failure"``
+        with the same error/traceback a local
+        :class:`~repro.runtime.spec.RunFailure` would show.
+        """
+        payload = []
+        for spec in self.specs:
+            outcome = self.outcomes.get(spec.spec_hash())
+            entry: dict = {"spec": spec.to_dict(),
+                           "spec_hash": spec.spec_hash()}
+            if isinstance(outcome, RunFailure):
+                entry["failure"] = {"error": outcome.error,
+                                    "traceback": outcome.traceback}
+            elif outcome is not None:
+                entry["result"] = outcome.to_dict()
+            payload.append(entry)
+        return payload
+
+
+class JobTable:
+    """Insertion-ordered job registry with bounded terminal retention."""
+
+    def __init__(self, keep_terminal: int = 256) -> None:
+        self.keep_terminal = keep_terminal
+        self._jobs: dict[str, Job] = {}
+        self._counter = 0
+
+    def new_id(self) -> str:
+        self._counter += 1
+        return f"j{self._counter:06d}"
+
+    def add(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        self.prune()
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def all(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    def live(self) -> list[Job]:
+        return [j for j in self._jobs.values() if not j.terminal]
+
+    def prune(self) -> int:
+        """Evict oldest terminal jobs beyond the retention bound."""
+        terminal = [j for j in self._jobs.values() if j.terminal]
+        evicted = 0
+        for job in terminal[:max(0, len(terminal) - self.keep_terminal)]:
+            del self._jobs[job.id]
+            evicted += 1
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._jobs)

@@ -1,0 +1,140 @@
+"""Wire protocol of the ``repro.serve`` job server.
+
+Line-delimited JSON: every frame is one JSON object on one ``\\n``-
+terminated line, UTF-8 encoded.  The framing is deliberately dumb —
+any language (or ``nc``) can speak it — and self-describing:
+
+* **Requests** carry an ``"op"`` field (:data:`OPS`) plus op-specific
+  fields; an optional ``"id"`` is echoed back verbatim so clients can
+  correlate responses on a shared connection.
+* **Responses** carry ``"ok": true|false``.  Exactly one response is
+  sent per request (for ``wait``/``stream`` submits it arrives when the
+  job reaches a terminal state).  A failed request carries ``"error"``
+  (human-readable) and ``"code"`` (machine-readable, :data:`CODES`).
+* **Events** carry ``"ev"`` instead of ``"ok"`` — per-cell progress,
+  job state changes and ``repro.obs`` telemetry records streamed to a
+  subscribed client *between* its request and its response.
+
+Schema details (one table per op) live in ``docs/serving.md``; the
+golden request/response frames in ``tests/test_serve.py`` pin the
+observable behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "OPS", "CODES",
+    "ProtocolError", "encode_frame", "decode_frame", "error_frame",
+    "parse_request", "parse_specs",
+]
+
+#: Bumped on any incompatible change to frame layout or op semantics.
+PROTOCOL_VERSION = 1
+
+#: Read-side line limit: a matrix submit is ~20 KiB, so 8 MiB leaves
+#: three orders of magnitude of headroom while still bounding a
+#: garbage (or hostile) client's memory impact on the server.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Every request op the server understands.
+OPS = frozenset({"ping", "submit", "status", "result", "cancel",
+                 "watch", "jobs", "shutdown"})
+
+#: Machine-readable error codes carried by ``ok: false`` responses.
+CODES = frozenset({"bad-frame", "bad-request", "unknown-op", "bad-spec",
+                   "unknown-job", "backpressure", "not-done",
+                   "shutting-down"})
+
+
+class ProtocolError(ValueError):
+    """A rejected frame; ``code`` is one of :data:`CODES`."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One frame: compact JSON + newline (the only framing there is)."""
+    return (json.dumps(obj, separators=(",", ":"), default=str)
+            + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Parse one received line; anything but a JSON object is rejected."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("bad-frame", f"frame is not UTF-8: {exc}")
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("bad-frame", f"frame is not JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad-frame",
+                            f"frame must be a JSON object, got"
+                            f" {type(obj).__name__}")
+    return obj
+
+
+def error_frame(code: str, message: str, **extra) -> dict:
+    """An ``ok: false`` response frame."""
+    frame = {"ok": False, "code": code, "error": message}
+    frame.update(extra)
+    return frame
+
+
+def parse_request(frame: dict) -> str:
+    """Validate the op and op-specific required fields; returns the op.
+
+    Raises :class:`ProtocolError` with ``unknown-op`` / ``bad-request``;
+    spec payloads are validated separately by :func:`parse_specs` so the
+    error can carry the offending spec.
+    """
+    op = frame.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError("unknown-op", f"unknown op {op!r};"
+                                          f" expected one of {sorted(OPS)}")
+    if op in ("status", "result", "cancel", "watch"):
+        job = frame.get("job")
+        if not isinstance(job, str) or not job:
+            raise ProtocolError("bad-request",
+                                f"op {op!r} requires a 'job' id string")
+    if op == "submit":
+        specs = frame.get("specs")
+        if not isinstance(specs, list) or not specs:
+            raise ProtocolError("bad-request",
+                                "op 'submit' requires a non-empty"
+                                " 'specs' list")
+        for key in ("wait", "stream"):
+            if key in frame and not isinstance(frame[key], bool):
+                raise ProtocolError("bad-request",
+                                    f"submit field {key!r} must be a bool")
+        retries = frame.get("retries", 0)
+        if not isinstance(retries, int) or retries < 0:
+            raise ProtocolError("bad-request",
+                                "submit field 'retries' must be a"
+                                " non-negative int")
+    return op
+
+
+def parse_specs(raw_specs: list) -> list:
+    """Deserialise a submit's spec dicts into :class:`RunSpec` values."""
+    from ..runtime import RunSpec
+
+    specs = []
+    for i, raw in enumerate(raw_specs):
+        if not isinstance(raw, dict):
+            raise ProtocolError("bad-spec",
+                                f"specs[{i}] must be an object, got"
+                                f" {type(raw).__name__}")
+        try:
+            specs.append(RunSpec.from_dict(raw))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError("bad-spec",
+                                f"specs[{i}] is not a valid RunSpec:"
+                                f" {type(exc).__name__}: {exc}")
+    return specs

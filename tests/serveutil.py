@@ -1,0 +1,90 @@
+"""Shared helpers for the ``repro.serve`` test files.
+
+Not a test module: ``test_serve.py``, ``test_serve_stress.py`` and
+``test_serve_properties.py`` import from here so they agree on socket
+placement (short /tmp paths — ``AF_UNIX`` paths are limited to ~108
+bytes and pytest tmp_path can exceed that), on the canonical small
+spec, and on the canned fast worker used where real simulation time
+would only slow the suite down.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import shutil
+import tempfile
+import time
+
+from repro.runtime import RunSpec, RunStore
+from repro.serve import JobServer, ServeClient, ServerThread
+
+#: One small real cell (~0.15s to simulate at this scale).
+SMALL_SPEC = RunSpec("fft", "ASCOMA", 0.7, 0.05)
+
+#: Distinct small cells for multi-spec jobs (same app/scale so the
+#: trace memo makes every cell after the first cheap).
+SMALL_SPECS = tuple(RunSpec("fft", "ASCOMA", p, 0.05)
+                    for p in (0.1, 0.5, 0.7, 0.9))
+
+_canned_result = None
+
+
+def canned_result():
+    """One real RunResult, simulated once per process and reused."""
+    global _canned_result
+    if _canned_result is None:
+        _canned_result = SMALL_SPEC.execute()
+    return _canned_result
+
+
+def fast_worker(payload):
+    """Drop-in for the executor's ``_pool_worker``: no real simulation.
+
+    Sleeps a moment (so in-flight windows exist for dedupe/cancel
+    tests) and returns the canned result; same ``(outcome, records)``
+    contract as the real worker.
+    """
+    time.sleep(0.002)
+    return canned_result(), None
+
+
+def make_slow_worker(delay: float):
+    def slow_worker(payload):
+        time.sleep(delay)
+        return canned_result(), None
+    return slow_worker
+
+
+@contextlib.contextmanager
+def serve_tmp(**kwargs):
+    """A running server on a short-path Unix socket, torn down after.
+
+    Yields ``(server, socket_path)``.  Defaults: inline backend, two
+    workers, a fresh RunStore under the same tmp dir (pass
+    ``store=None`` to disable caching).
+    """
+    tmp = tempfile.mkdtemp(prefix="rserve-", dir="/tmp")
+    sock = os.path.join(tmp, "s.sock")
+    if "store" not in kwargs:
+        kwargs["store"] = RunStore(os.path.join(tmp, "store"))
+    kwargs.setdefault("backend", "inline")
+    kwargs.setdefault("workers", 2)
+    server = JobServer(sock, **kwargs)
+    try:
+        with ServerThread(server):
+            yield server, sock
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def wait_terminal(client: ServeClient, job_id: str,
+                  timeout: float = 30.0) -> dict:
+    """Poll ``status`` until the job is terminal; returns the job dict."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = client.status(job_id)
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(0.02)
+    raise TimeoutError(f"job {job_id} not terminal within {timeout}s")

@@ -15,9 +15,11 @@ import pytest
 from repro.check import ReproBundle
 
 CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+# Only directories that actually hold a bundle: tooling byproducts like
+# __pycache__ (regenerate.py gets imported/compiled) are not entries.
 ENTRIES = sorted(
     name for name in os.listdir(CORPUS)
-    if os.path.isdir(os.path.join(CORPUS, name)))
+    if os.path.isfile(os.path.join(CORPUS, name, "bundle.json")))
 
 
 @pytest.mark.parametrize("entry", ENTRIES)

@@ -263,3 +263,26 @@ class TestAcceptance:
         assert bus.observers == []  # fast path stays eligible
         telemetry.detach(engine)
         assert bus.kind_observers == {}
+
+    def test_execute_always_detaches_engine_observers(self, monkeypatch):
+        """RunSpec.execute unsubscribes telemetry *and* checker itself.
+
+        Long-lived callers (the serve layer runs thousands of cells on
+        one retained telemetry object) must not rely on the engine
+        being garbage: the run must leave the bus it subscribed to
+        clean, success or not.
+        """
+        from repro.sim.engine import Engine
+        captured = {}
+        orig_run = Engine.run
+
+        def run(self):
+            captured["bus"] = self.machine.events
+            return orig_run(self)
+
+        monkeypatch.setattr(Engine, "run", run)
+        telemetry = BackoffTelemetry()
+        RunSpec("fft", "ASCOMA", 0.7, SCALE).execute(check=True,
+                                                     telemetry=telemetry)
+        assert captured["bus"].observers == []
+        assert captured["bus"].kind_observers == {}

@@ -1,0 +1,91 @@
+"""Hypothesis property tests for the ``repro.serve`` job table.
+
+The server is driven through its socket-independent core API
+(``submit_job`` / ``get_job`` / ``cancel_job`` / ``drain``) with a fast
+fake worker, under arbitrary interleavings of submit, cancel, status
+and event-loop ticks from "multiple clients" (interleaved call sites).
+Whatever the schedule, after a drain:
+
+* no orphaned futures — the in-flight map and refcount table are empty;
+* every submitted job is terminal, its ``done_event`` is set, and its
+  bookkeeping matches its state (``done`` means every cell has a
+  non-failure outcome);
+* every job published **exactly one** terminal state transition on the
+  server bus — a job cannot finish twice, and cannot finish two ways.
+"""
+
+import asyncio
+import contextlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (TERMINAL_STATES, BackpressureError, JobServer,
+                         ProtocolError)
+from repro.serve.server import EV_JOB
+
+from .serveutil import SMALL_SPECS, make_slow_worker
+
+# Small spec pool: overlap between concurrent submissions is the point.
+POOL = list(SMALL_SPECS)
+
+_action = st.one_of(
+    st.tuples(st.just("submit"),
+              st.lists(st.integers(0, len(POOL) - 1),
+                       min_size=1, max_size=3)),
+    st.tuples(st.just("cancel"), st.integers(0, 63)),
+    st.tuples(st.just("status"), st.integers(0, 63)),
+    st.tuples(st.just("tick"), st.just(0)),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(actions=st.lists(_action, max_size=30))
+def test_job_table_consistent_under_any_interleaving(actions):
+    async def scenario():
+        server = JobServer("unused.sock", store=None, backend="inline",
+                           workers=2, max_queued=4, keep_jobs=1024,
+                           worker_fn=make_slow_worker(0.003))
+        terminal_events = []
+
+        def observer(event):
+            if event.detail.get("state") in TERMINAL_STATES:
+                terminal_events.append(event.detail["id"])
+
+        server.bus.subscribe(observer, kinds=(EV_JOB,))
+
+        jobs = []
+        for name, arg in actions:
+            if name == "submit":
+                with contextlib.suppress(BackpressureError):
+                    jobs.append(server.submit_job([POOL[i] for i in arg]))
+            elif name == "cancel" and jobs:
+                with contextlib.suppress(ProtocolError):
+                    await server.cancel_job(jobs[arg % len(jobs)].id)
+            elif name == "status" and jobs:
+                job = server.get_job(jobs[arg % len(jobs)].id)
+                assert job.state in TERMINAL_STATES | {"queued", "running"}
+            elif name == "tick":
+                await asyncio.sleep(0.002)
+
+        await server.drain()
+
+        # No orphaned futures, whatever the interleaving was.
+        assert not server._inflight
+        assert not server._refs
+
+        for job in jobs:
+            assert job.terminal, (job.id, job.state)
+            assert job.done_event.is_set()
+            assert job.task.done()
+            assert job.finished is not None
+            if job.state == "done":
+                assert len(job.outcomes) == len(job.specs)
+                assert not job.failures()
+            elif job.state == "failed":
+                assert job.failures()
+
+        # Exactly one terminal transition per job, ever.
+        assert sorted(terminal_events) == sorted(j.id for j in jobs)
+
+    asyncio.run(scenario())
