@@ -1,18 +1,21 @@
 """Continuous-benchmark regression gate against the committed baseline.
 
 Compares fresh runs of the headline benchmarks -- ``matrix_micro``
-(one-cell replay throughput) and ``matrix_e2e`` (the full 90-cell
-parallel matrix) -- against the numbers committed in ``BENCH_pr4.json``
+(scalar replay throughput), ``vector:matrix_micro`` (the vectorized
+SoA loop on the same cells) and ``matrix_e2e`` (the full 90-cell
+parallel matrix) -- against the numbers committed in ``BENCH_pr8.json``
 at the repo root, and fails on a >20% events/sec drop.  Hardware
 differences between the committing machine and the test machine are
 real, so the gate is deliberately loose -- it exists to catch
 order-of-magnitude regressions (an accidentally disabled fast path, a
 per-event allocation creeping back in, the trace cache silently
-missing), not single-digit noise.  Four hardware-independent
+missing), not single-digit noise.  Five hardware-independent
 self-checks back it up, all measured as same-machine ratios: the fast
-path must outrun the reference loop, a trace-cache hit must beat
-regeneration, ``--obs`` telemetry must stay within its 2% budget, and
-a warm-server round-trip must beat a cold CLI invocation by >=5x.
+path must outrun the reference loop, the vector path must beat the
+fast path by >=3x when the compiled kernel is available, a trace-cache
+hit must beat regeneration, ``--obs`` telemetry must stay within its
+2% budget, and a warm-server round-trip must beat a cold CLI
+invocation by >=5x.
 
 Opt-in: wall-clock assertions are inherently flaky on loaded CI
 runners, so these tests skip unless ``REPRO_PERF=1`` is set::
@@ -31,10 +34,14 @@ import pytest
 
 from repro.perf import bench_matrix_micro, load_bench_json
 
-BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr8.json"
 
 #: Fail below this fraction of the committed throughput.
 FLOOR = 0.8
+
+#: Minimum fast->vector speedup on the matrix micro slice, enforced
+#: whenever the compiled SoA kernel is available on this host.
+VECTOR_FLOOR = 3.0
 
 pytestmark = [
     pytest.mark.perf,
@@ -62,6 +69,28 @@ def test_matrix_micro_throughput(committed):
     assert fresh.events_per_sec >= floor, (
         f"matrix_micro regressed: {fresh.events_per_sec:,.0f} ev/s is below "
         f"{FLOOR:.0%} of the committed {base['events_per_sec']:,.0f} ev/s")
+
+
+def test_vector_matrix_micro_throughput(committed):
+    """Absolute gate on the vectorized loop against the committed
+    baseline, mirroring the scalar matrix_micro gate.  Skipped when
+    the compiled kernel is unavailable -- a degraded vector run would
+    measure the fast path and fail spuriously."""
+    from repro.perf import bench_vector_matrix_micro
+    from repro.sim.soatrace import vector_available
+
+    if not vector_available():
+        pytest.skip("compiled SoA kernel unavailable on this host")
+    base = committed.get("vector:matrix_micro")
+    assert base, f"{BENCH_JSON.name} has no vector:matrix_micro entry"
+    fresh = bench_vector_matrix_micro(repeats=3)
+    assert fresh.events == base["events"], (
+        f"vector:matrix_micro workload changed; regenerate {BENCH_JSON.name}")
+    floor = FLOOR * base["events_per_sec"]
+    assert fresh.events_per_sec >= floor, (
+        f"vector:matrix_micro regressed: {fresh.events_per_sec:,.0f} ev/s is "
+        f"below {FLOOR:.0%} of the committed {base['events_per_sec']:,.0f} "
+        f"ev/s")
 
 
 def test_matrix_e2e_throughput(committed):
@@ -148,3 +177,24 @@ def test_fast_path_beats_reference(committed):
     assert fast.wall_s < slow.wall_s, (
         f"fast path ({fast.wall_s:.3f}s) is not faster than the reference "
         f"loop ({slow.wall_s:.3f}s)")
+
+
+def test_vector_path_beats_fast_by_3x():
+    """The vectorized loop's acceptance claim: >=3x over the scalar
+    fast path on the matrix micro slice, measured in the same process
+    on this machine so the gate is hardware independent.  A failure
+    means either the kernel fell back to scalar replay mid-matrix
+    (an eligibility regression) or per-slice Python overhead crept
+    into the drive loop.  Skipped without a working C compiler, where
+    the vector engine intentionally degrades to the fast path."""
+    from repro.perf import bench_vector_matrix_micro
+    from repro.sim.soatrace import vector_available
+
+    if not vector_available():
+        pytest.skip("compiled SoA kernel unavailable on this host")
+    result = bench_vector_matrix_micro(repeats=3)
+    assert result.meta["speedup_x"] >= VECTOR_FLOOR, (
+        f"vector path ({result.wall_s:.3f}s) is only "
+        f"{result.meta['speedup_x']:.2f}x faster than the scalar fast path "
+        f"({result.meta['fast_wall_s']:.3f}s); the gate requires "
+        f">={VECTOR_FLOOR:.0f}x")

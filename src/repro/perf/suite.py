@@ -1,6 +1,6 @@
 """The curated microbenchmark suite behind ``python -m repro bench``.
 
-Eight benchmark families, chosen to bracket the simulator's cost
+Nine benchmark families, chosen to bracket the simulator's cost
 structure (docs/performance.md):
 
 * ``single:<app>/<arch>`` -- one evaluation cell per architecture, so a
@@ -9,6 +9,11 @@ structure (docs/performance.md):
   (fft + em3d across all five architectures at 70% pressure); this is
   the headline number and what ``BENCH_*.json`` speedups are quoted
   against;
+* ``vector:matrix_micro`` -- the same 10-cell slice replayed through
+  the vectorized SoA loop (``repro.sim.soatrace``); ``meta`` records
+  the scalar fast-path wall time and the speedup factor, which the
+  regression gate holds at >=3x whenever the compiled kernel is
+  available;
 * ``matrix_e2e`` -- the full 90-cell parallel matrix through the
   runtime executor, new dispatch (trace cache + warm workers + LPT)
   versus the preserved legacy pool path;
@@ -50,7 +55,8 @@ from .timing import BenchResult, run_bench
 
 __all__ = ["MICRO_SCALE", "E2E_SCALE", "ALL_APPS", "MATRIX_APPS",
            "MATRIX_PRESSURE", "MATRIX_CELLS",
-           "bench_single_cell", "bench_matrix_micro", "bench_matrix_e2e",
+           "bench_single_cell", "bench_matrix_micro",
+           "bench_vector_matrix_micro", "bench_matrix_e2e",
            "bench_trace_generation", "bench_trace_generation_cached",
            "bench_checker_overhead", "bench_obs_overhead",
            "bench_serve_warm", "run_suite",
@@ -83,9 +89,9 @@ def _workload_events(wl) -> int:
     return sum(len(t.kinds) for t in wl.traces)
 
 
-def _engine(wl, arch: str, pressure: float) -> Engine:
+def _engine(wl, arch: str, pressure: float, **engine_kwargs) -> Engine:
     cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=pressure)
-    return Engine(wl, scaled_policy(arch), config=cfg)
+    return Engine(wl, scaled_policy(arch), config=cfg, **engine_kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +127,38 @@ def bench_matrix_micro(repeats: int = 3) -> BenchResult:
     return run_bench("matrix_micro", once, events, repeats,
                      meta={"cells": len(MATRIX_CELLS), "apps": MATRIX_APPS,
                            "pressure": MATRIX_PRESSURE, "scale": MICRO_SCALE})
+
+
+def bench_vector_matrix_micro(repeats: int = 3) -> BenchResult:
+    """The matrix micro slice through the vectorized SoA loop.
+
+    Identical cell set, scale and timing method to ``matrix_micro`` --
+    only the replay loop differs -- so the two benches' events/sec are
+    directly comparable and the recorded speedup is exactly the
+    fast->vector win.  ``meta["kernel_available"]`` records whether the
+    compiled kernel actually ran: without a C compiler the vector
+    engine degrades to the scalar fast path and the factor sits near
+    1.0, which the regression gate treats as a skip, not a failure.
+    """
+    from ..sim.soatrace import vector_available
+
+    wls = {app: get_workload(app, MICRO_SCALE) for app in MATRIX_APPS}
+    events = sum(_workload_events(wls[app]) for app, _, _ in MATRIX_CELLS)
+
+    def once(vector: bool) -> None:
+        for app, arch, pr in MATRIX_CELLS:
+            _engine(wls[app], arch, pr, vector_path=vector).run()
+
+    fast = run_bench("_fast", lambda: once(False), events, repeats)
+    result = run_bench("vector:matrix_micro", lambda: once(True),
+                       events, repeats,
+                       meta={"cells": len(MATRIX_CELLS), "apps": MATRIX_APPS,
+                             "pressure": MATRIX_PRESSURE,
+                             "scale": MICRO_SCALE,
+                             "kernel_available": vector_available()})
+    result.meta["fast_wall_s"] = round(fast.wall_s, 6)
+    result.meta["speedup_x"] = round(fast.wall_s / result.wall_s, 3)
+    return result
 
 
 def bench_trace_generation(app: str = "em3d", scale: float = MICRO_SCALE,
@@ -381,6 +419,7 @@ def run_suite(repeats: int = 3, only: str | None = None) -> list[BenchResult]:
         *(lambda a=arch: bench_single_cell(a, repeats=repeats)
           for arch in ARCHITECTURES),
         lambda: bench_matrix_micro(repeats=repeats),
+        lambda: bench_vector_matrix_micro(repeats=repeats),
         lambda: bench_matrix_e2e(repeats=min(repeats, 2)),
         *(lambda a=app: bench_trace_generation(a, repeats=repeats)
           for app in ALL_APPS),
@@ -391,7 +430,7 @@ def run_suite(repeats: int = 3, only: str | None = None) -> list[BenchResult]:
         lambda: bench_serve_warm(repeats=repeats),
     ]
     names = [f"single:fft/{arch}" for arch in ARCHITECTURES]
-    names += ["matrix_micro", "matrix_e2e"]
+    names += ["matrix_micro", "vector:matrix_micro", "matrix_e2e"]
     names += [f"tracegen:{app}" for app in ALL_APPS]
     names += [f"tracegen_cached:{app}" for app in ALL_APPS]
     names += ["checker:fft/ASCOMA", "obs_overhead", "serve_warm"]

@@ -15,7 +15,13 @@ Hash stability rules
   order never changes the hash;
 * the hash covers a ``version`` field (:data:`SPEC_VERSION`) — bump it
   whenever simulator semantics change so that stale store artifacts
-  become unreachable rather than silently wrong.
+  become unreachable rather than silently wrong;
+* replay-loop selection (``REPRO_SLOW_PATH`` / ``REPRO_VECTOR_PATH``,
+  or the engine's ``slow_path``/``vector_path`` arguments) is a
+  *runtime mode*, deliberately outside the hash: all three loops are
+  pinned bit-identical by ``tests/test_perf_parity.py``, so a store
+  entry produced by any loop validly services the same spec replayed
+  through any other.
 
 A failed execution is described by :class:`RunFailure`, which names the
 spec that failed so batch sweeps can report and resume precisely.

@@ -27,9 +27,9 @@ time -> U_SH_MEM, kernel work -> K_BASE or K_OVERHD, barrier waits ->
 SYNC.  Misses are simultaneously classified into HOME / SCOMA / RAC /
 COLD / CONF_CAPC, matching the right-hand charts of Figures 2-3.
 
-Fast path vs reference path
----------------------------
-The engine carries two replay loops producing **bit-identical**
+The three replay loops
+----------------------
+The engine carries three replay loops producing **bit-identical**
 :class:`RunResult`s (``tests/test_perf_parity.py`` enforces this for
 every architecture):
 
@@ -41,8 +41,16 @@ every architecture):
 * the **reference path** (``REPRO_SLOW_PATH=1`` or ``slow_path=True``)
   is the straightforward one-call-per-event loop the fast path was
   derived from.  It is the escape hatch for debugging and the parity
-  oracle for every future hot-path change.
+  oracle for every future hot-path change;
+* the **vector path** (``REPRO_VECTOR_PATH=1``, ``vector_path=True``
+  or ``repro --vector``) decodes the trace to structure-of-arrays
+  form and replays it through the compiled SoA kernel in
+  :mod:`repro.sim.soatrace`, exiting to the scalar machinery for
+  residual events and degrading (loss-free) to the fast path when the
+  engine is ineligible or no kernel can be built.
 
+Selection precedence is constructor over environment; asking for the
+reference and vector loops *at the same level* raises ``ValueError``.
 See ``docs/performance.md`` for the measured speedups.
 """
 
@@ -81,6 +89,7 @@ class Engine:
                  log_messages: bool = False,
                  sampler=None,
                  slow_path: bool | None = None,
+                 vector_path: bool | None = None,
                  page_memo: bool | None = None) -> None:
         self.workload = workload
         #: Optional TimeSeriesSampler snapshotting policy state at every
@@ -114,12 +123,35 @@ class Engine:
         #: Victim-mode RAC: fills from L1 evictions of remote lines,
         #: never from fetches (see SystemConfig.rac_fill_policy).
         self._rac_victim = self.config.rac_fill_policy == "victim"
-        #: Reference mode: one `_shared_ref` call per READ/WRITE event.
-        #: Selected per engine, or process-wide via REPRO_SLOW_PATH=1
-        #: (the escape hatch documented in docs/performance.md).
-        if slow_path is None:
-            slow_path = os.environ.get("REPRO_SLOW_PATH", "") not in ("", "0")
-        self.slow_path = slow_path
+        #: Replay-loop selection.  Three mutually-checking loops:
+        #: the reference loop (slow_path), the optimised scalar loop
+        #: (the default), and the vectorized SoA loop (vector_path,
+        #: see repro.sim.soatrace).  Each is selected per engine via
+        #: the ctor or process-wide via REPRO_SLOW_PATH=1 /
+        #: REPRO_VECTOR_PATH=1; an explicit ctor argument beats the
+        #: environment, and selecting both loops at once is a
+        #: contradiction that raises instead of silently picking one
+        #: (precedence documented in docs/performance.md).
+        env_slow = os.environ.get("REPRO_SLOW_PATH", "") not in ("", "0")
+        env_vector = os.environ.get("REPRO_VECTOR_PATH", "") not in ("", "0")
+        slow = env_slow if slow_path is None else slow_path
+        vector = env_vector if vector_path is None else vector_path
+        if slow and vector:
+            if slow_path is not None and vector_path is not None:
+                raise ValueError(
+                    "conflicting path selections: slow_path=True and"
+                    " vector_path=True cannot both be honoured")
+            if slow_path is None and vector_path is None:
+                raise ValueError(
+                    "conflicting path selections: REPRO_SLOW_PATH and"
+                    " REPRO_VECTOR_PATH are both set")
+            # Exactly one side was explicit: ctor beats env.
+            if slow_path is not None:
+                vector = False
+            else:
+                slow = False
+        self.slow_path = slow
+        self.vector_path = vector
         #: Per-node page -> (mode, home) memo, invalidated through the
         #: event bus (_MEMO_INVALIDATORS).  Opt-in: subscribing the
         #: invalidation observer makes every page-management publish
@@ -163,8 +195,12 @@ class Engine:
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
-        clock = (self._run_reference() if self.slow_path
-                 else self._run_fast())
+        if self.slow_path:
+            clock = self._run_reference()
+        elif self.vector_path:
+            clock = self._run_vector()
+        else:
+            clock = self._run_fast()
 
         events = self._events
         if events.watching(EV_END):
@@ -859,6 +895,33 @@ class Engine:
                 if all(finished[i] or waiting[i] for i in range(n)):
                     self._release_barrier(nodes, clock, arrival, waiting,
                                           pos, end, finished, barrier_id)
+        return clock
+
+    # ------------------------------------------------------------------
+    def _run_vector(self) -> list[int]:
+        """Vectorized SoA replay loop (see repro.sim.soatrace).
+
+        Bit-identical to both scalar loops.  The decoded trace and the
+        machine's per-event mutable state move into dense numpy
+        arrays, and a small compiled kernel replays the scheduler and
+        the five fast-path reference cases over them, handing only the
+        residual events (page faults, relocation hints, daemon runs,
+        barrier releases) back to the scalar machinery -- which then
+        operates on the same arrays through dict/set views, so the two
+        substrates never diverge.
+
+        Degrades silently to :meth:`_run_fast` when the kernel is
+        unavailable (no C compiler / cffi) or the run shape is outside
+        its model -- the same rule by which the fast path's inlined
+        cases fall back to `_shared_ref`.  Notably, attaching the
+        invariant checker subscribes an unfiltered observer, so
+        checked runs take the scalar path.
+        """
+        from .soatrace import run_vector
+
+        clock = run_vector(self)
+        if clock is None:
+            return self._run_fast()
         return clock
 
     # ------------------------------------------------------------------

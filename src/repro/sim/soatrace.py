@@ -1,0 +1,1504 @@
+"""Structure-of-arrays replay substrate: the vectorized third loop.
+
+The engine's third replay path (``vector_path=True`` /
+``REPRO_VECTOR_PATH=1``) re-expresses the PR4 fast loop over a dense
+structure-of-arrays decode of the machine state: every dict/set the
+scalar loops mutate per event (directory copyset/owner, page-table
+modes and S-COMA valid masks, refetch counters, TLB reference bits,
+L1 tags, RAC slots, ownership sets) becomes a flat numpy array, and
+the per-event scheduler + classification + protocol arithmetic runs
+as a small compiled kernel over those arrays.  The kernel is a direct
+transliteration of ``Engine._shared_ref`` and the fast loop's inlined
+cases; like the fast path it decides *before mutating anything*
+whether an event is one of the shapes it does not model -- a page
+fault or an imminent relocation hint -- and hands exactly those
+events back to the scalar ``Engine._shared_ref`` machinery, so the
+residual path sees identical state and produces identical arithmetic.
+
+Bit-identical output to both scalar loops is the contract: same
+``RunResult.to_dict()``, same goldens, same store hashes (see
+``tests/test_perf_parity.py``'s three-way differential matrix).
+
+Implementation notes
+--------------------
+* The kernel is plain C compiled on first use with the system C
+  compiler (``cc``/``gcc``) into a source-hash-keyed shared library
+  under ``$REPRO_VECTOR_CACHE`` (default ``~/.cache/repro/vector``)
+  and loaded through :mod:`cffi` in ABI mode -- no ``Python.h``, no
+  build-time dependency.  When cffi or a compiler is missing, or a
+  run shape is outside the kernel's model (associative L1, page memo,
+  unfiltered event-bus observers, a time-series sampler, a directory
+  message log, >62 nodes/chunks-per-page), :func:`run_vector` returns
+  ``None`` and the engine silently degrades to ``_run_fast`` -- the
+  same graceful-degradation contract the fast path's inlined cases
+  already follow.
+* While the vectorized run is live, the machine's dict/set/list state
+  is *replaced* by array-backed views (single source of truth): the
+  scalar residual path and all post-run consumers (invariant audits,
+  ``utilisation_report``) read and write the same arrays the kernel
+  does.  The views stay installed after the run; they implement the
+  exact observable dict/set semantics of what they replace and return
+  Python ints/bools (never numpy scalars, which would poison the
+  JSON-serialised ``RunResult``).
+* Path selection is a runtime mode, like ``REPRO_SLOW_PATH``: it must
+  never enter ``RunSpec.spec_hash`` (see ``repro.runtime.spec``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+from ..kernel.vm import PageMode
+
+__all__ = ["run_vector", "vector_available"]
+
+# ---------------------------------------------------------------------------
+# Kernel exit codes (keep in sync with the C source).
+_DONE = 0        # every node finished; deltas are ready to merge
+_RESIDUAL = 1    # event at ctl needs scalar Engine._shared_ref
+_DAEMON = 2      # pageout daemon due on ctl[BEST] at ctl[NOW]
+_BARRIER = 3     # every unfinished node is waiting; release in Python
+_DEADLOCK = 4    # unfinished nodes exist but none is runnable
+
+# ctl[] slots (keep in sync with the C source).
+_IN_SLICE, _BEST, _LIMIT, _NOW, _LINE, _ISW = range(6)
+
+# params[] slots (keep in sync with the C enum).
+(_P_N, _P_QUANTUM, _P_NO_LIMIT, _P_LINE_SHIFT, _P_CHUNK_SHIFT, _P_CPP_MASK,
+ _P_SET_MASK, _P_RAC_MASK, _P_RAC_VICTIM, _P_HIT_CYCLES, _P_RAC_CYCLES,
+ _P_DSM2, _P_GRANT_EX, _P_STALL_INV, _P_SKIP_NODE, _P_BANK_MASK,
+ _P_MEM_SERVICE, _P_MEM_OCC, _P_MEM_MAXQ, _P_BUS_OCC, _P_BUS_FIXED,
+ _P_BUS_MAXQ, _P_NET_OCC, _P_NET_MAXQ, _P_LPC, _P_N_PAGES, _P_N_SETS,
+ _P_N_BANKS, _P_RAC_ENTRIES, _P_PC_SHIFT, _P_N_CHUNKS) = range(31)
+_N_PARAMS = 31
+
+#: Per-node stats delta row: (slot, NodeStats attribute).  Commutative
+#: counters only -- nothing reads them mid-run, so the kernel
+#: accumulates into a scratch array merged once at the end.
+_STAT_ATTRS = (
+    "U_SH_MEM", "U_INSTR", "U_LC_MEM", "HOME", "SCOMA", "RAC", "COLD",
+    "CONF_CAPC", "HOME_LAT", "SCOMA_LAT", "RAC_LAT", "COLD_LAT",
+    "CONF_CAPC_LAT", "upgrades", "induced_cold", "essential_cold",
+    "l1_hits", "l1_misses")
+_N_STATS = len(_STAT_ATTRS)
+
+# Per-node auxiliary delta row (see _merge_deltas).
+(_A_WB, _A_INVAL, _A_RAC_HITS, _A_RAC_MISSES, _A_RAC_FILLS, _A_MEM_ACC,
+ _A_MEM_CONT, _A_MEM_Q, _A_BUS_TX, _A_BUS_CONT, _A_BUS_Q) = range(11)
+_N_AUX = 11
+
+# Global delta row (see _merge_deltas).
+(_G_NET_MSGS, _G_NET_CONT, _G_NET_Q, _G_DIR_REFETCH, _G_DIR_FWD,
+ _G_DIR_INV, _G_DIR_EXCL, _G_REMOTE, _G_THREE_HOP, _G_STALLS) = range(10)
+_N_GLOB = 10
+
+_STRUCT = """
+typedef struct {
+    const int64_t *P;
+    const uint8_t *kinds;
+    const int64_t *args;
+    const int64_t *tr_off;
+    const int64_t *tr_len;
+    int64_t *pos;
+    int64_t *clock;
+    int64_t *arrival;
+    int64_t *barrier_id;
+    uint8_t *finished;
+    uint8_t *waiting;
+    int64_t *ctl;
+    int64_t *l1_tags;
+    uint8_t *l1_dirty;
+    int64_t *rac;
+    uint8_t *owned;
+    uint8_t *ever;
+    int64_t *copyset;
+    int64_t *owner;
+    int64_t *refetch;
+    int64_t *modes;
+    int64_t *scoma_valid;
+    int64_t *pc_hits;
+    uint8_t *ref_bits;
+    const int64_t *home;
+    const int64_t *net_base;
+    int64_t *net_port;
+    int64_t *mem_busy;
+    int64_t *bus_busy;
+    const uint8_t *below_min;
+    const int64_t *next_run;
+    const int64_t *thr;
+    int64_t *st;
+    int64_t *aux;
+    int64_t *glob;
+} SoaState;
+"""
+
+_CDEF = _STRUCT + """
+int64_t soa_run(SoaState *s);
+"""
+
+# The kernel proper: a line-for-line transliteration of the scalar
+# machinery it replaces.  Source comments reference the Python it
+# mirrors; every formula (queue clamps, leg timestamps, counter sites,
+# mutation order) must match repro.sim.engine / repro.coherence /
+# repro.interconnect / repro.mem exactly -- the three-way parity matrix
+# is the enforcement.
+_C_SOURCE = "#include <stdint.h>\n" + _STRUCT + r"""
+#define EV_WRITE 1
+#define EV_COMPUTE 2
+#define EV_LOCAL 3
+
+enum { P_N, P_QUANTUM, P_NO_LIMIT, P_LINE_SHIFT, P_CHUNK_SHIFT, P_CPP_MASK,
+       P_SET_MASK, P_RAC_MASK, P_RAC_VICTIM, P_HIT_CYCLES, P_RAC_CYCLES,
+       P_DSM2, P_GRANT_EX, P_STALL_INV, P_SKIP_NODE, P_BANK_MASK,
+       P_MEM_SERVICE, P_MEM_OCC, P_MEM_MAXQ, P_BUS_OCC, P_BUS_FIXED,
+       P_BUS_MAXQ, P_NET_OCC, P_NET_MAXQ, P_LPC, P_N_PAGES, P_N_SETS,
+       P_N_BANKS, P_RAC_ENTRIES, P_PC_SHIFT, P_N_CHUNKS };
+
+enum { S_USH, S_UINSTR, S_ULC, S_HOME, S_SCOMA, S_RAC, S_COLD, S_CONF,
+       S_HOME_LAT, S_SCOMA_LAT, S_RAC_LAT, S_COLD_LAT, S_CONF_LAT,
+       S_UPGRADES, S_INDUCED, S_ESSENTIAL, S_L1_HITS, S_L1_MISSES, N_STATS };
+
+enum { A_WB, A_INVAL, A_RAC_HITS, A_RAC_MISSES, A_RAC_FILLS, A_MEM_ACC,
+       A_MEM_CONT, A_MEM_Q, A_BUS_TX, A_BUS_CONT, A_BUS_Q, N_AUX };
+
+enum { G_NET_MSGS, G_NET_CONT, G_NET_Q, G_DIR_REFETCH, G_DIR_FWD,
+       G_DIR_INV, G_DIR_EXCL, G_REMOTE, G_THREE_HOP, G_STALLS, N_GLOB };
+
+enum { C_IN_SLICE, C_BEST, C_LIMIT, C_NOW, C_LINE, C_ISW };
+
+enum { RC_DONE, RC_RESIDUAL, RC_DAEMON, RC_BARRIER, RC_DEADLOCK };
+
+/* Network.one_way: same-node messages are free and uncounted. */
+static int64_t one_way(SoaState *s, int64_t src, int64_t dst, int64_t now) {
+    if (src == dst) return 0;
+    int64_t base = s->net_base[src * s->P[P_N] + dst];
+    int64_t arrival = now + base;
+    int64_t busy = s->net_port[dst];
+    int64_t queue = busy > arrival ? busy - arrival : 0;
+    if (queue > s->P[P_NET_MAXQ]) queue = s->P[P_NET_MAXQ];
+    s->net_port[dst] = arrival + queue + s->P[P_NET_OCC];
+    s->glob[G_NET_MSGS]++;
+    if (queue) { s->glob[G_NET_CONT]++; s->glob[G_NET_Q] += queue; }
+    return base + queue;
+}
+
+static int64_t round_trip(SoaState *s, int64_t src, int64_t dst, int64_t now) {
+    int64_t out = one_way(s, src, dst, now);
+    return out + one_way(s, dst, src, now + out);
+}
+
+/* BankedMemory.access */
+static int64_t mem_access(SoaState *s, int64_t node, int64_t chunk,
+                          int64_t now) {
+    int64_t *busy = &s->mem_busy[node * s->P[P_N_BANKS]
+                                 + (chunk & s->P[P_BANK_MASK])];
+    int64_t queue = *busy > now ? *busy - now : 0;
+    if (queue > s->P[P_MEM_MAXQ]) queue = s->P[P_MEM_MAXQ];
+    *busy = now + queue + s->P[P_MEM_OCC];
+    int64_t *aux = &s->aux[node * N_AUX];
+    aux[A_MEM_ACC]++;
+    if (queue) { aux[A_MEM_CONT]++; aux[A_MEM_Q] += queue; }
+    return s->P[P_MEM_SERVICE] + queue;
+}
+
+/* SplitTransactionBus.transact */
+static int64_t bus_transact(SoaState *s, int64_t node, int64_t now) {
+    int64_t busy = s->bus_busy[node];
+    int64_t queue = busy > now ? busy - now : 0;
+    if (queue > s->P[P_BUS_MAXQ]) queue = s->P[P_BUS_MAXQ];
+    s->bus_busy[node] = now + queue + s->P[P_BUS_OCC];
+    int64_t *aux = &s->aux[node * N_AUX];
+    aux[A_BUS_TX]++;
+    if (queue) { aux[A_BUS_CONT]++; aux[A_BUS_Q] += queue; }
+    return s->P[P_BUS_FIXED] + queue;
+}
+
+static void rac_drop(SoaState *s, int64_t node, int64_t key) {
+    int64_t *slot = &s->rac[node * s->P[P_RAC_ENTRIES]
+                            + (key & s->P[P_RAC_MASK])];
+    if (*slot == key) *slot = -1;
+}
+
+static void rac_fill(SoaState *s, int64_t node, int64_t key) {
+    s->rac[node * s->P[P_RAC_ENTRIES] + (key & s->P[P_RAC_MASK])] = key;
+    s->aux[node * N_AUX + A_RAC_FILLS]++;
+}
+
+/* Machine._invalidate_chunk + Node.invalidate_chunk (publishes are
+ * observer-guarded in Python and observers are empty under
+ * eligibility, so there is nothing to publish here). */
+static void invalidate_chunk_at(SoaState *s, int64_t node, int64_t chunk) {
+    if (node == s->P[P_SKIP_NODE]) return;
+    int64_t lpc = s->P[P_LPC];
+    int64_t first = chunk * lpc;
+    int64_t *tags = &s->l1_tags[node * s->P[P_N_SETS]];
+    uint8_t *dirty = &s->l1_dirty[node * s->P[P_N_SETS]];
+    int64_t *aux = &s->aux[node * N_AUX];
+    for (int64_t line = first; line < first + lpc; line++) {
+        int64_t slot = line & s->P[P_SET_MASK];
+        if (tags[slot] == line) {
+            tags[slot] = -1;
+            dirty[slot] = 0;
+            aux[A_INVAL]++;
+        }
+    }
+    if (s->P[P_RAC_VICTIM]) {
+        for (int64_t line = first; line < first + lpc; line++)
+            rac_drop(s, node, line);
+    } else {
+        rac_drop(s, node, chunk);
+    }
+    s->owned[node * s->P[P_N_CHUNKS] + chunk] = 0;
+    int64_t pidx = node * s->P[P_N_PAGES] + (chunk >> s->P[P_PC_SHIFT]);
+    if (s->modes[pidx] == 2)   /* PageMode.SCOMA */
+        s->scoma_valid[pidx] &= ~((int64_t)1 << (chunk & s->P[P_CPP_MASK]));
+}
+
+/* CoherenceProtocol._invalidate_all: invalidate each sharer in
+ * ascending id order, all round trips issued at the same `now` (port
+ * state still accumulates); one write stall per call. */
+static int64_t invalidate_all(SoaState *s, int64_t mask, int64_t chunk,
+                              int64_t origin, int64_t now) {
+    int64_t worst = 0;
+    for (int64_t sh = 0; sh < s->P[P_N]; sh++) {
+        if (!((mask >> sh) & 1)) continue;
+        invalidate_chunk_at(s, sh, chunk);
+        int64_t rt = round_trip(s, origin, sh, now);
+        if (rt > worst) worst = rt;
+    }
+    s->glob[G_STALLS]++;
+    return s->P[P_STALL_INV] ? worst : 0;
+}
+
+typedef struct {
+    int64_t refetch, forwarded, inv_mask, prev_owner, exclusive;
+} DirOut;
+
+/* Directory.fetch_raw.  The relocation-hint branch is unreachable
+ * here: shared_ref() pre-checks the hint condition against the
+ * pre-mutation copyset/refetch state and exits to Python before
+ * calling this, so count+1 < threshold always holds. */
+static DirOut fetch_raw(SoaState *s, int64_t node, int64_t chunk,
+                        int64_t page, int64_t is_write, int64_t threshold,
+                        int64_t count_refetch) {
+    DirOut o = {0, 0, 0, -1, 0};
+    int64_t bit = (int64_t)1 << node;
+    int64_t cs = s->copyset[chunk];
+    o.refetch = (cs & bit) != 0;
+    int64_t owner = s->owner[chunk];
+    if (owner != -1 && owner != node) {
+        o.forwarded = 1;
+        s->glob[G_DIR_FWD]++;
+        s->owner[chunk] = -1;
+    }
+    if (is_write) {
+        int64_t others = cs & ~bit;
+        if (others) {
+            o.inv_mask = others;
+            s->glob[G_DIR_INV] += __builtin_popcountll((uint64_t)others);
+        }
+        s->copyset[chunk] = bit;
+        s->owner[chunk] = node;
+    } else {
+        s->copyset[chunk] = cs | bit;
+        if (owner == node) {
+            /* still the owner */
+        } else if (s->P[P_GRANT_EX] && cs == 0) {
+            s->owner[chunk] = node;
+            o.exclusive = 1;
+        }
+    }
+    if (o.refetch && count_refetch) {
+        s->glob[G_DIR_REFETCH]++;
+        if (threshold > 0)
+            s->refetch[page * s->P[P_N] + node]++;
+    }
+    if (o.exclusive) s->glob[G_DIR_EXCL]++;
+    o.prev_owner = (owner != node) ? owner : -1;
+    return o;
+}
+
+/* CoherenceProtocol.remote_fetch_raw after the directory step. */
+static int64_t remote_after_dir(SoaState *s, DirOut *o, int64_t node,
+                                int64_t chunk, int64_t home,
+                                int64_t is_write, int64_t now) {
+    int64_t lat = one_way(s, node, home, now);
+    lat += mem_access(s, home, chunk, now + lat);
+    if (o->forwarded) {
+        s->glob[G_THREE_HOP]++;
+        lat += one_way(s, home, node, now + lat);
+        if (!is_write && o->prev_owner >= 0)
+            s->owned[o->prev_owner * s->P[P_N_CHUNKS] + chunk] = 0;
+    }
+    lat += one_way(s, home, node, now + lat);
+    if (o->inv_mask)
+        lat += invalidate_all(s, o->inv_mask, chunk, home, now + lat);
+    s->glob[G_REMOTE]++;
+    return lat;
+}
+
+/* CoherenceProtocol.local_fetch_raw after the directory step. */
+static int64_t local_after_dir(SoaState *s, DirOut *o, int64_t node,
+                               int64_t chunk, int64_t is_write,
+                               int64_t now) {
+    int64_t lat = mem_access(s, node, chunk, now);
+    if (o->forwarded) {
+        s->glob[G_THREE_HOP]++;
+        int64_t owner = o->prev_owner >= 0 ? o->prev_owner
+                                           : (node + 1) % s->P[P_N];
+        lat += round_trip(s, node, owner, now + lat);
+        if (!is_write && o->prev_owner >= 0)
+            s->owned[o->prev_owner * s->P[P_N_CHUNKS] + chunk] = 0;
+    }
+    if (o->inv_mask)
+        lat += invalidate_all(s, o->inv_mask, chunk, node, now + lat);
+    return lat;
+}
+
+/* CoherenceProtocol.upgrade */
+static int64_t upgrade(SoaState *s, int64_t node, int64_t chunk,
+                       int64_t page, int64_t home, int64_t now) {
+    DirOut o = fetch_raw(s, node, chunk, page, 1, 0, 0);
+    int64_t lat = (home == node) ? 0 : round_trip(s, node, home, now);
+    if (o.inv_mask)
+        lat += invalidate_all(s, o.inv_mask, chunk, home, now + lat);
+    return lat;
+}
+
+/* DirectMappedCache.fill */
+static int64_t l1_fill(SoaState *s, int64_t node, int64_t line,
+                       int64_t make_dirty) {
+    int64_t slot = line & s->P[P_SET_MASK];
+    int64_t *tags = &s->l1_tags[node * s->P[P_N_SETS]];
+    uint8_t *dirty = &s->l1_dirty[node * s->P[P_N_SETS]];
+    int64_t victim = tags[slot];
+    if (victim == line) {
+        if (make_dirty) dirty[slot] = 1;
+        return -1;
+    }
+    if (victim != -1 && dirty[slot]) s->aux[node * N_AUX + A_WB]++;
+    tags[slot] = line;
+    dirty[slot] = (uint8_t)make_dirty;
+    return victim;
+}
+
+/* Engine._l1_fill / plain l1.fill, chosen per rac_fill_policy. */
+static void l1_fill_tail(SoaState *s, int64_t node, int64_t line,
+                         int64_t is_write) {
+    if (s->P[P_RAC_VICTIM]) {
+        int64_t victim = l1_fill(s, node, line, is_write);
+        if (victim != -1
+            && s->modes[node * s->P[P_N_PAGES]
+                        + (victim >> s->P[P_LINE_SHIFT])] == 3)
+            rac_fill(s, node, victim);   /* PageMode.CCNUMA */
+    } else {
+        l1_fill(s, node, line, is_write);
+    }
+}
+
+/* Engine._classify_remote */
+static void classify(SoaState *s, int64_t node, int64_t chunk,
+                     int64_t refetch, int64_t lat) {
+    int64_t *st = &s->st[node * N_STATS];
+    uint8_t *ever = &s->ever[node * s->P[P_N_CHUNKS] + chunk];
+    if (refetch) {
+        st[S_CONF]++;
+        st[S_CONF_LAT] += lat;
+        *ever = 1;
+    } else {
+        st[S_COLD]++;
+        st[S_COLD_LAT] += lat;
+        if (*ever) st[S_INDUCED]++;
+        else { st[S_ESSENTIAL]++; *ever = 1; }
+    }
+}
+
+/* Engine._shared_ref.  Returns elapsed cycles, or -1 when the event
+ * needs the scalar path (page fault / relocation hint); -1 is
+ * returned strictly before any mutation, so Python can redo the
+ * whole event against identical state. */
+static int64_t shared_ref(SoaState *s, int64_t nid, int64_t line,
+                          int64_t is_write, int64_t now) {
+    int64_t *st = &s->st[nid * N_STATS];
+    int64_t slot = line & s->P[P_SET_MASK];
+    int64_t *tags = &s->l1_tags[nid * s->P[P_N_SETS]];
+    int64_t chunk = line >> s->P[P_CHUNK_SHIFT];
+    if (tags[slot] == line) {                       /* L1 hit */
+        st[S_L1_HITS]++;
+        uint8_t *dirty = &s->l1_dirty[nid * s->P[P_N_SETS]];
+        if (is_write) {
+            uint8_t *ownedp = &s->owned[nid * s->P[P_N_CHUNKS] + chunk];
+            if (!*ownedp) {
+                int64_t page = line >> s->P[P_LINE_SHIFT];
+                int64_t lat = upgrade(s, nid, chunk, page,
+                                      s->home[page], now);
+                *ownedp = 1;
+                st[S_UPGRADES]++;
+                st[S_USH] += lat;
+                dirty[slot] = 1;
+                return s->P[P_HIT_CYCLES] + lat;
+            }
+            dirty[slot] = 1;
+        }
+        return s->P[P_HIT_CYCLES];
+    }
+    /* L1 miss: pure pre-checks before any mutation. */
+    int64_t page = line >> s->P[P_LINE_SHIFT];
+    int64_t pidx = nid * s->P[P_N_PAGES] + page;
+    int64_t mode = s->modes[pidx];
+    if (mode == 0) return -1;                       /* page fault */
+    if (mode == 3) {                                /* CCNUMA */
+        int64_t key = s->P[P_RAC_VICTIM] ? line : chunk;
+        if (s->rac[nid * s->P[P_RAC_ENTRIES]
+                   + (key & s->P[P_RAC_MASK])] != key) {
+            int64_t thr = s->thr[nid];
+            if (thr > 0 && ((s->copyset[chunk] >> nid) & 1)
+                && s->refetch[page * s->P[P_N] + nid] + 1 >= thr)
+                return -1;                          /* relocation hint */
+        }
+    }
+    st[S_L1_MISSES]++;
+    s->ref_bits[pidx] = 1;
+    int64_t lat = bus_transact(s, nid, now);
+    uint8_t *ownedp = &s->owned[nid * s->P[P_N_CHUNKS] + chunk];
+    int64_t home = s->home[page];
+    if (mode == 1) {                                /* HOME */
+        DirOut o = fetch_raw(s, nid, chunk, page, is_write, 0, 0);
+        lat += local_after_dir(s, &o, nid, chunk, is_write, now + lat);
+        st[S_HOME]++;
+        st[S_HOME_LAT] += lat;
+        if (is_write || o.exclusive) *ownedp = 1;
+    } else if (mode == 2) {                         /* SCOMA */
+        int64_t cip = chunk & s->P[P_CPP_MASK];
+        if ((s->scoma_valid[pidx] >> cip) & 1) {
+            lat += mem_access(s, nid, chunk, now + lat);
+            st[S_SCOMA]++;
+            s->pc_hits[pidx]++;
+            st[S_SCOMA_LAT] += lat;
+            if (is_write && !*ownedp) {
+                lat += upgrade(s, nid, chunk, page, home, now + lat);
+                *ownedp = 1;
+                st[S_UPGRADES]++;
+            }
+        } else {
+            DirOut o = fetch_raw(s, nid, chunk, page, is_write, 0, 0);
+            int64_t fl = remote_after_dir(s, &o, nid, chunk, home,
+                                          is_write, now + lat);
+            lat += s->P[P_DSM2] + fl;
+            s->scoma_valid[pidx] |= (int64_t)1 << cip;
+            classify(s, nid, chunk, o.refetch, lat);
+            if (is_write || o.exclusive) *ownedp = 1;
+        }
+    } else {                                        /* CCNUMA */
+        int64_t key = s->P[P_RAC_VICTIM] ? line : chunk;
+        int64_t *aux = &s->aux[nid * N_AUX];
+        if (s->rac[nid * s->P[P_RAC_ENTRIES]
+                   + (key & s->P[P_RAC_MASK])] == key) {
+            aux[A_RAC_HITS]++;
+            lat += s->P[P_RAC_CYCLES];
+            st[S_RAC]++;
+            st[S_RAC_LAT] += lat;
+            if (is_write && !*ownedp) {
+                lat += upgrade(s, nid, chunk, page, home, now + lat);
+                *ownedp = 1;
+                st[S_UPGRADES]++;
+            }
+        } else {
+            aux[A_RAC_MISSES]++;
+            DirOut o = fetch_raw(s, nid, chunk, page, is_write,
+                                 s->thr[nid], 1);
+            int64_t fl = remote_after_dir(s, &o, nid, chunk, home,
+                                          is_write, now + lat);
+            lat += s->P[P_DSM2] + fl;
+            if (!s->P[P_RAC_VICTIM]) rac_fill(s, nid, chunk);
+            classify(s, nid, chunk, o.refetch, lat);
+            if (is_write || o.exclusive) *ownedp = 1;
+        }
+    }
+    l1_fill_tail(s, nid, line, is_write);
+    st[S_USH] += lat;
+    return lat;
+}
+
+/* The fast loop's scheduler + slice runner.  Exits to Python only for
+ * page faults / relocation hints (RC_RESIDUAL), a due pageout daemon
+ * (RC_DAEMON), a full barrier (RC_BARRIER), deadlock, or completion;
+ * ctl[] carries the resume point across RC_RESIDUAL / RC_DAEMON. */
+int64_t soa_run(SoaState *s) {
+    const int64_t n = s->P[P_N];
+    int64_t best, limit, now;
+    if (s->ctl[C_IN_SLICE]) {
+        best = s->ctl[C_BEST];
+        limit = s->ctl[C_LIMIT];
+        now = s->ctl[C_NOW];
+        s->ctl[C_IN_SLICE] = 0;
+        goto inner;
+    }
+    for (;;) {
+        /* Pick the runnable node with the smallest clock. */
+        best = -1;
+        {
+            int64_t best_clock = 0, runner_up = 0;
+            int has_best = 0, has_runner = 0;
+            for (int64_t i = 0; i < n; i++) {
+                if (s->finished[i] || s->waiting[i]) continue;
+                int64_t c = s->clock[i];
+                if (!has_best || c < best_clock) {
+                    runner_up = best_clock;
+                    has_runner = has_best;
+                    best_clock = c;
+                    best = i;
+                    has_best = 1;
+                } else if (!has_runner || c < runner_up) {
+                    runner_up = c;
+                    has_runner = 1;
+                }
+            }
+            if (best == -1) {
+                for (int64_t i = 0; i < n; i++)
+                    if (!s->finished[i]) return RC_DEADLOCK;
+                return RC_DONE;
+            }
+            limit = has_runner ? runner_up + s->P[P_QUANTUM]
+                               : s->P[P_NO_LIMIT];
+            now = s->clock[best];
+        }
+        /* run_daemon_if_due: checked once per fresh slice. */
+        if (s->below_min[best] && now >= s->next_run[best]) {
+            s->ctl[C_IN_SLICE] = 1;
+            s->ctl[C_BEST] = best;
+            s->ctl[C_LIMIT] = limit;
+            s->ctl[C_NOW] = now;
+            return RC_DAEMON;
+        }
+    inner:
+        {
+            int64_t off = s->tr_off[best];
+            int64_t p = s->pos[best];
+            int64_t e = s->tr_len[best];
+            const uint8_t *kinds = s->kinds + off;
+            const int64_t *args = s->args + off;
+            while (p < e && now < limit) {
+                uint8_t ev = kinds[p];
+                int64_t arg = args[p];
+                p++;
+                if (ev <= EV_WRITE) {
+                    int64_t r = shared_ref(s, best, arg,
+                                           ev == EV_WRITE, now);
+                    if (r < 0) {
+                        s->pos[best] = p;
+                        s->ctl[C_IN_SLICE] = 1;
+                        s->ctl[C_BEST] = best;
+                        s->ctl[C_LIMIT] = limit;
+                        s->ctl[C_NOW] = now;
+                        s->ctl[C_LINE] = arg;
+                        s->ctl[C_ISW] = (ev == EV_WRITE);
+                        return RC_RESIDUAL;
+                    }
+                    now += r;
+                } else if (ev == EV_COMPUTE) {
+                    s->st[best * N_STATS + S_UINSTR] += arg;
+                    now += arg;
+                } else if (ev == EV_LOCAL) {
+                    s->st[best * N_STATS + S_ULC] += arg;
+                    now += arg;
+                } else {                             /* EV_BARRIER */
+                    s->waiting[best] = 1;
+                    s->barrier_id[best] = arg;
+                    s->arrival[best] = now;
+                    break;
+                }
+            }
+            s->pos[best] = p;
+            s->clock[best] = now;
+            if (p >= e && !s->waiting[best]) s->finished[best] = 1;
+            if (s->waiting[best]) {
+                int64_t all = 1;
+                for (int64_t i = 0; i < n; i++)
+                    if (!s->finished[i] && !s->waiting[i]) { all = 0; break; }
+                if (all) return RC_BARRIER;
+            }
+        }
+    }
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Kernel build & load
+# ---------------------------------------------------------------------------
+
+_KERNEL = None  # None = not tried yet; False = unavailable; (ffi, lib) = ok
+
+
+def _cache_dir() -> str:
+    return (os.environ.get("REPRO_VECTOR_CACHE")
+            or os.path.join(os.path.expanduser("~"), ".cache", "repro",
+                            "vector"))
+
+
+def _build_library() -> str | None:
+    """Compile the kernel into a source-hash-keyed shared library.
+
+    Returns the ``.so`` path, or ``None`` when no C compiler is
+    available or compilation fails.  The build is atomic (compile to a
+    temp name, ``os.replace`` into place) so concurrent processes --
+    the executor's worker pool warms up in parallel -- race benignly.
+    """
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"soakernel-{digest}.so")
+    if os.path.exists(so_path):
+        return so_path
+    cc = shutil.which("cc") or shutil.which("gcc")
+    if cc is None:
+        return None
+    try:
+        os.makedirs(cache, exist_ok=True)
+        fd, c_path = tempfile.mkstemp(suffix=".c", dir=cache)
+        with os.fdopen(fd, "w") as f:
+            f.write(_C_SOURCE)
+        tmp_so = c_path[:-2] + ".so"
+        try:
+            proc = subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", "-o", tmp_so, c_path],
+                capture_output=True, timeout=120)
+            if proc.returncode != 0:
+                return None
+            os.replace(tmp_so, so_path)
+        finally:
+            for leftover in (c_path, tmp_so):
+                try:
+                    os.unlink(leftover)
+                except OSError:
+                    pass
+        return so_path
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def _load_kernel():
+    """Lazily compile + dlopen the kernel; memoized process-wide."""
+    global _KERNEL
+    if _KERNEL is not None:
+        return _KERNEL or None
+    try:
+        import cffi
+    except ImportError:
+        _KERNEL = False
+        return None
+    try:
+        so_path = _build_library()
+        if so_path is None:
+            _KERNEL = False
+            return None
+        ffi = cffi.FFI()
+        ffi.cdef(_CDEF)
+        lib = ffi.dlopen(so_path)
+        _KERNEL = (ffi, lib)
+        return _KERNEL
+    except Exception:
+        _KERNEL = False
+        return None
+
+
+def vector_available() -> bool:
+    """True when the compiled kernel can be built and loaded here."""
+    return _load_kernel() is not None
+
+
+# ---------------------------------------------------------------------------
+# Array-backed views over the machine's dict/set/list state
+# ---------------------------------------------------------------------------
+# While a vectorized run is live these replace the real containers, so
+# the scalar residual path, the pageout daemon, the fault handler and
+# the post-run invariant audits all read/write the same dense arrays
+# the kernel does.  Every accessor converts to plain Python int/bool:
+# numpy scalars must never leak into NodeStats or RunResult (they
+# would change the JSON bytes the store hashes).
+
+
+class _MaskDict:
+    """Directory.copyset: chunk -> sharer bitmask; 0 means absent.
+
+    The real dict can briefly hold an explicit 0 (drop_node_from_page
+    stores ``cs & clear``), but every consumer reads through ``.get``
+    with a 0/None default and bit-tests the result, so 0-as-absent is
+    observationally identical.
+    """
+
+    __slots__ = ("_a",)
+
+    def __init__(self, a):
+        self._a = a
+
+    def get(self, key, default=None):
+        v = self._a[key]
+        return int(v) if v else default
+
+    def __getitem__(self, key):
+        v = self._a[key]
+        if not v:
+            raise KeyError(key)
+        return int(v)
+
+    def __setitem__(self, key, value):
+        self._a[key] = value
+
+    def __contains__(self, key):
+        return bool(self._a[key])
+
+    def __len__(self):
+        return int(np.count_nonzero(self._a))
+
+    def __iter__(self):
+        return iter(np.flatnonzero(self._a).tolist())
+
+    def items(self):
+        a = self._a
+        return [(k, int(a[k])) for k in np.flatnonzero(a).tolist()]
+
+    def keys(self):
+        return list(self)
+
+    def pop(self, key, default=None):
+        v = self._a[key]
+        self._a[key] = 0
+        return int(v) if v else default
+
+    def clear(self):
+        self._a[:] = 0
+
+    def update(self, other=()):
+        items = other.items() if hasattr(other, "items") else other
+        for k, v in items:
+            self._a[k] = v
+
+
+class _OwnerDict:
+    """Directory.owner: chunk -> owning node; -1 means absent."""
+
+    __slots__ = ("_a",)
+
+    def __init__(self, a):
+        self._a = a
+
+    def get(self, key, default=None):
+        v = self._a[key]
+        return int(v) if v != -1 else default
+
+    def __getitem__(self, key):
+        v = self._a[key]
+        if v == -1:
+            raise KeyError(key)
+        return int(v)
+
+    def __setitem__(self, key, value):
+        self._a[key] = value
+
+    def __delitem__(self, key):
+        if self._a[key] == -1:
+            raise KeyError(key)
+        self._a[key] = -1
+
+    def __contains__(self, key):
+        return self._a[key] != -1
+
+    def __len__(self):
+        return int(np.count_nonzero(self._a != -1))
+
+    def __iter__(self):
+        return iter(np.flatnonzero(self._a != -1).tolist())
+
+    def items(self):
+        a = self._a
+        return [(k, int(a[k])) for k in np.flatnonzero(a != -1).tolist()]
+
+    def keys(self):
+        return list(self)
+
+
+class _RefetchDict:
+    """Directory.refetch_count: (page, node) -> count over a flat array.
+
+    An explicit 0 (the hint path resets the count) is indistinguishable
+    from absence for every consumer (``.get(key, 0)`` / ``.pop``).
+    """
+
+    __slots__ = ("_a", "_n")
+
+    def __init__(self, a, n_nodes):
+        self._a = a
+        self._n = n_nodes
+
+    def _idx(self, key):
+        page, node = key
+        return page * self._n + node
+
+    def get(self, key, default=None):
+        v = self._a[self._idx(key)]
+        return int(v) if v else default
+
+    def __getitem__(self, key):
+        v = self._a[self._idx(key)]
+        if not v:
+            raise KeyError(key)
+        return int(v)
+
+    def __setitem__(self, key, value):
+        self._a[self._idx(key)] = value
+
+    def __contains__(self, key):
+        return bool(self._a[self._idx(key)])
+
+    def pop(self, key, default=None):
+        i = self._idx(key)
+        v = self._a[i]
+        self._a[i] = 0
+        return int(v) if v else default
+
+    def __len__(self):
+        return int(np.count_nonzero(self._a))
+
+    def items(self):
+        n = self._n
+        return [((k // n, k % n), int(self._a[k]))
+                for k in np.flatnonzero(self._a).tolist()]
+
+    def keys(self):
+        return [k for k, _ in self.items()]
+
+
+class _ModeDict:
+    """PageTable.mode: page -> PageMode; UNMAPPED (0) means absent."""
+
+    __slots__ = ("_a",)
+
+    def __init__(self, a):
+        self._a = a
+
+    def get(self, key, default=None):
+        v = self._a[key]
+        return PageMode(int(v)) if v else default
+
+    def __getitem__(self, key):
+        v = self._a[key]
+        if not v:
+            raise KeyError(key)
+        return PageMode(int(v))
+
+    def __setitem__(self, key, value):
+        self._a[key] = int(value)
+
+    def __delitem__(self, key):
+        if not self._a[key]:
+            raise KeyError(key)
+        self._a[key] = 0
+
+    def __contains__(self, key):
+        return bool(self._a[key])
+
+    def __len__(self):
+        return int(np.count_nonzero(self._a))
+
+    def __iter__(self):
+        return iter(np.flatnonzero(self._a).tolist())
+
+    def items(self):
+        a = self._a
+        return [(k, PageMode(int(a[k]))) for k in np.flatnonzero(a).tolist()]
+
+    def values(self):
+        return [v for _, v in self.items()]
+
+    def keys(self):
+        return list(self)
+
+
+class _ScomaValidDict:
+    """PageTable.scoma_valid: page -> chunk-valid bitmask.
+
+    Presence is *mode-derived* (a page has an entry iff its mode is
+    SCOMA), because a freshly mapped page legitimately holds mask 0 and
+    must still show up in iteration and the page-table audits.
+    ``__delitem__`` only zeroes the mask: unmap_scoma deletes the entry
+    while the mode is still SCOMA and flips the mode immediately after,
+    which removes the derived presence.
+
+    Writes to a page whose mode is *not* SCOMA land in a plain-dict
+    overlay instead: the simulator never does this, but the invariant
+    tests inject exactly that corruption (an entry disagreeing with the
+    page mode) to prove the checker sees it, and the view must be able
+    to hold -- and delete -- the bad entry like the real dict would.
+    """
+
+    __slots__ = ("_a", "_m", "_x")
+
+    def __init__(self, a, modes):
+        self._a = a
+        self._m = modes
+        self._x = {}
+
+    def get(self, key, default=None):
+        if self._m[key] != 2:
+            return self._x.get(key, default)
+        return int(self._a[key])
+
+    def __getitem__(self, key):
+        if self._m[key] != 2:
+            return self._x[key]
+        return int(self._a[key])
+
+    def __setitem__(self, key, value):
+        if self._m[key] == 2:
+            self._a[key] = value
+            self._x.pop(key, None)
+        else:
+            self._x[key] = value
+
+    def __delitem__(self, key):
+        if key in self._x:
+            del self._x[key]
+        elif self._m[key] == 2:
+            self._a[key] = 0
+        else:
+            raise KeyError(key)
+
+    def __contains__(self, key):
+        return self._m[key] == 2 or key in self._x
+
+    def __len__(self):
+        return int(np.count_nonzero(self._m == 2)) + len(self._x)
+
+    def __iter__(self):
+        yield from np.flatnonzero(self._m == 2).tolist()
+        yield from self._x
+
+    def items(self):
+        a = self._a
+        out = [(k, int(a[k]))
+               for k in np.flatnonzero(self._m == 2).tolist()]
+        out.extend(self._x.items())
+        return out
+
+    def keys(self):
+        return list(self)
+
+
+class _PcHitsDict:
+    """Node.pagecache_hits: page -> hit count; -1 means absent.
+
+    Presence is *not* mode-derived: evict_scoma_page pops the entry
+    after unmap_scoma has already flipped the mode, so the entry must
+    outlive the SCOMA mapping by one step.
+    """
+
+    __slots__ = ("_a",)
+
+    def __init__(self, a):
+        self._a = a
+
+    def get(self, key, default=None):
+        v = self._a[key]
+        return int(v) if v >= 0 else default
+
+    def __getitem__(self, key):
+        v = self._a[key]
+        if v < 0:
+            raise KeyError(key)
+        return int(v)
+
+    def __setitem__(self, key, value):
+        self._a[key] = value
+
+    def __contains__(self, key):
+        return self._a[key] >= 0
+
+    def pop(self, key, default=None):
+        v = self._a[key]
+        self._a[key] = -1
+        return int(v) if v >= 0 else default
+
+    def __len__(self):
+        return int(np.count_nonzero(self._a >= 0))
+
+    def items(self):
+        a = self._a
+        return [(k, int(a[k])) for k in np.flatnonzero(a >= 0).tolist()]
+
+    def keys(self):
+        return np.flatnonzero(self._a >= 0).tolist()
+
+
+class _RefBitsDict:
+    """TLB.ref_bits: page -> bool.  A stored False and absence are
+    indistinguishable to every consumer (``get(page, False)``), so the
+    view needs no separate presence bit."""
+
+    __slots__ = ("_a",)
+
+    def __init__(self, a):
+        self._a = a
+
+    def get(self, key, default=None):
+        v = self._a[key]
+        return True if v else default
+
+    def __getitem__(self, key):
+        if not self._a[key]:
+            raise KeyError(key)
+        return True
+
+    def __setitem__(self, key, value):
+        self._a[key] = 1 if value else 0
+
+    def __contains__(self, key):
+        return bool(self._a[key])
+
+    def pop(self, key, default=None):
+        v = self._a[key]
+        self._a[key] = 0
+        return True if v else default
+
+    def __len__(self):
+        return int(np.count_nonzero(self._a))
+
+    def keys(self):
+        return np.flatnonzero(self._a).tolist()
+
+
+class _ChunkSet:
+    """Node.owned / Node.ever_fetched over a uint8 membership row."""
+
+    __slots__ = ("_a",)
+
+    def __init__(self, a):
+        self._a = a
+
+    def add(self, key):
+        self._a[key] = 1
+
+    def discard(self, key):
+        self._a[key] = 0
+
+    def __contains__(self, key):
+        return bool(self._a[key])
+
+    def __len__(self):
+        return int(np.count_nonzero(self._a))
+
+    def __iter__(self):
+        return iter(np.flatnonzero(self._a).tolist())
+
+
+class _IntList:
+    """list[int] facade over an int64 row (L1 tags, RAC chunks)."""
+
+    __slots__ = ("_a",)
+
+    def __init__(self, a):
+        self._a = a
+
+    def __getitem__(self, i):
+        return int(self._a[i])
+
+    def __setitem__(self, i, v):
+        self._a[i] = v
+
+    def __len__(self):
+        return len(self._a)
+
+    def __iter__(self):
+        return iter(self._a.tolist())
+
+
+class _BoolList:
+    """list[bool] facade over a uint8 row (L1 dirty bits)."""
+
+    __slots__ = ("_a",)
+
+    def __init__(self, a):
+        self._a = a
+
+    def __getitem__(self, i):
+        return bool(self._a[i])
+
+    def __setitem__(self, i, v):
+        self._a[i] = 1 if v else 0
+
+    def __len__(self):
+        return len(self._a)
+
+    def __iter__(self):
+        return [bool(x) for x in self._a.tolist()].__iter__()
+
+
+class _HomeDict:
+    """HomeAllocator.home: page -> home node; -1 means unassigned."""
+
+    __slots__ = ("_a",)
+
+    def __init__(self, a):
+        self._a = a
+
+    def get(self, key, default=None):
+        v = self._a[key]
+        return int(v) if v != -1 else default
+
+    def __getitem__(self, key):
+        v = self._a[key]
+        if v == -1:
+            raise KeyError(key)
+        return int(v)
+
+    def __setitem__(self, key, value):
+        self._a[key] = value
+
+    def __contains__(self, key):
+        return self._a[key] != -1
+
+    def __len__(self):
+        return int(np.count_nonzero(self._a != -1))
+
+    def __iter__(self):
+        return iter(np.flatnonzero(self._a != -1).tolist())
+
+    def items(self):
+        a = self._a
+        return [(k, int(a[k])) for k in np.flatnonzero(a != -1).tolist()]
+
+    def keys(self):
+        return list(self)
+
+
+# ---------------------------------------------------------------------------
+# Eligibility + orchestration
+# ---------------------------------------------------------------------------
+
+def _eligible(engine) -> bool:
+    """Cheap pre-flight: is this run inside the kernel's model?
+
+    Mirrors the fast path's own degradation rule: anything that wants
+    to observe intermediate state (unfiltered event-bus observers --
+    which is how the invariant checker attaches -- a directory message
+    log, a time-series sampler, the page memo) or a shape the dense
+    arrays cannot carry (associative L1, >62 nodes or chunks-per-page,
+    out-of-range reference args) falls back to ``_run_fast``.
+    """
+    machine = engine.machine
+    if not engine._l1_direct:
+        return False
+    if engine._memo is not None:
+        return False
+    if engine.sampler is not None:
+        return False
+    if machine.directory.log is not None:
+        return False
+    if machine.events.observers:
+        return False
+    amap = machine.amap
+    n = engine.config.n_nodes
+    if n > 62 or amap.chunks_per_page > 62:
+        return False
+    _, _, _, _, ref_lo, ref_hi = engine.workload.soa()
+    if ref_hi >= 0:
+        n_pages = engine.workload.total_shared_pages
+        lines_total = n_pages << engine._line_shift
+        if ref_lo < 0 or ref_hi >= lines_total:
+            return False
+    return True
+
+
+def _merge_deltas(engine, st, aux, glob) -> None:
+    """Fold the kernel's commutative counter deltas into the live
+    objects.  Every value goes through int(): numpy scalars must not
+    reach NodeStats / RunResult."""
+    machine = engine.machine
+    for i, node in enumerate(machine.nodes):
+        stats = node.stats
+        row = st[i]
+        for slot, attr in enumerate(_STAT_ATTRS):
+            setattr(stats, attr, getattr(stats, attr) + int(row[slot]))
+        arow = aux[i]
+        l1s = node.l1.stats
+        l1s.writebacks += int(arow[_A_WB])
+        l1s.invalidations += int(arow[_A_INVAL])
+        rac = node.rac
+        rac.hits += int(arow[_A_RAC_HITS])
+        rac.misses += int(arow[_A_RAC_MISSES])
+        rac.fills += int(arow[_A_RAC_FILLS])
+        mem = node.memory
+        mem.accesses += int(arow[_A_MEM_ACC])
+        mem.contended += int(arow[_A_MEM_CONT])
+        mem.total_queue_cycles += int(arow[_A_MEM_Q])
+        bus = machine.buses[i]
+        bus.transactions += int(arow[_A_BUS_TX])
+        bus.contended += int(arow[_A_BUS_CONT])
+        bus.total_queue_cycles += int(arow[_A_BUS_Q])
+    net = machine.network
+    net.messages += int(glob[_G_NET_MSGS])
+    net.contended_messages += int(glob[_G_NET_CONT])
+    net.total_queue_cycles += int(glob[_G_NET_Q])
+    directory = machine.directory
+    directory.total_refetches += int(glob[_G_DIR_REFETCH])
+    directory.forwards += int(glob[_G_DIR_FWD])
+    directory.invalidations_sent += int(glob[_G_DIR_INV])
+    directory.exclusive_grants += int(glob[_G_DIR_EXCL])
+    protocol = machine.protocol
+    protocol.remote_fetches += int(glob[_G_REMOTE])
+    protocol.three_hop_fetches += int(glob[_G_THREE_HOP])
+    protocol.write_stalls += int(glob[_G_STALLS])
+
+
+def run_vector(engine) -> list[int] | None:
+    """Run the engine's replay through the compiled SoA kernel.
+
+    Returns the per-node finish clocks (plain ints), or ``None`` when
+    the kernel is unavailable or the run is ineligible -- in which
+    case nothing has been mutated and the caller falls back to
+    ``_run_fast``.
+    """
+    kernel = _load_kernel()
+    if kernel is None or not _eligible(engine):
+        return None
+    ffi, lib = kernel
+
+    machine = engine.machine
+    config = engine.config
+    amap = machine.amap
+    nodes = machine.nodes
+    directory = machine.directory
+    network = machine.network
+    allocator = machine.allocator
+    n = config.n_nodes
+    n_pages = engine.workload.total_shared_pages
+    cpp = amap.chunks_per_page
+    n_chunks = n_pages * cpp
+    n_sets = nodes[0].l1.n_sets
+    rac_entries = nodes[0].rac.n_entries
+    n_banks = len(nodes[0].memory.busy_until)
+    mem0 = nodes[0].memory
+    bus0 = machine.buses[0]
+
+    # --- trace SoA ---------------------------------------------------
+    kinds_all, args_all, tr_off, tr_len, _, _ = engine.workload.soa()
+
+    # --- dense state arrays, built from the live containers ----------
+    copyset = np.zeros(max(n_chunks, 1), dtype=np.int64)
+    for k, v in directory.copyset.items():
+        copyset[k] = v
+    owner = np.full(max(n_chunks, 1), -1, dtype=np.int64)
+    for k, v in directory.owner.items():
+        owner[k] = v
+    refetch = np.zeros(max(n_pages * n, 1), dtype=np.int64)
+    for (pg, nd), v in directory.refetch_count.items():
+        refetch[pg * n + nd] = v
+    home = np.full(max(n_pages, 1), -1, dtype=np.int64)
+    for pg, v in allocator.home.items():
+        home[pg] = v
+    modes = np.zeros((n, max(n_pages, 1)), dtype=np.int64)
+    scoma_valid = np.zeros((n, max(n_pages, 1)), dtype=np.int64)
+    pc_hits = np.full((n, max(n_pages, 1)), -1, dtype=np.int64)
+    ref_bits = np.zeros((n, max(n_pages, 1)), dtype=np.uint8)
+    owned = np.zeros((n, max(n_chunks, 1)), dtype=np.uint8)
+    ever = np.zeros((n, max(n_chunks, 1)), dtype=np.uint8)
+    l1_tags = np.empty((n, n_sets), dtype=np.int64)
+    l1_dirty = np.empty((n, n_sets), dtype=np.uint8)
+    rac_arr = np.empty((n, rac_entries), dtype=np.int64)
+    for i, node in enumerate(nodes):
+        pt = node.page_table
+        for pg, m in pt.mode.items():
+            modes[i, pg] = int(m)
+        for pg, mask in pt.scoma_valid.items():
+            scoma_valid[i, pg] = mask
+        for pg, hits in node.pagecache_hits.items():
+            pc_hits[i, pg] = hits
+        for pg, bit in node.tlb.ref_bits.items() if hasattr(
+                node.tlb.ref_bits, "items") else ():
+            ref_bits[i, pg] = 1 if bit else 0
+        for c in node.owned:
+            owned[i, c] = 1
+        for c in node.ever_fetched:
+            ever[i, c] = 1
+        l1_tags[i, :] = node.l1.tags
+        l1_dirty[i, :] = [1 if d else 0 for d in node.l1.dirty]
+        rac_arr[i, :] = node.rac.chunks
+
+    # --- scheduler state ---------------------------------------------
+    pos = np.zeros(n, dtype=np.int64)
+    clock = np.zeros(n, dtype=np.int64)
+    arrival = np.zeros(n, dtype=np.int64)
+    barrier_id = np.full(n, -1, dtype=np.int64)
+    finished = np.array([tr_len[i] == 0 for i in range(n)], dtype=np.uint8)
+    waiting = np.zeros(n, dtype=np.uint8)
+    ctl = np.zeros(8, dtype=np.int64)
+
+    # --- timing state (copied in/out at every kernel boundary) -------
+    net_port = np.zeros(n, dtype=np.int64)
+    mem_busy = np.zeros((n, n_banks), dtype=np.int64)
+    bus_busy = np.zeros(n, dtype=np.int64)
+    net_base = np.ascontiguousarray(np.array(network._base, dtype=np.int64))
+
+    # --- per-boundary scalars + counter deltas -----------------------
+    below_min = np.zeros(n, dtype=np.uint8)
+    next_run = np.zeros(n, dtype=np.int64)
+    thr = np.zeros(n, dtype=np.int64)
+    st = np.zeros((n, _N_STATS), dtype=np.int64)
+    aux = np.zeros((n, _N_AUX), dtype=np.int64)
+    glob = np.zeros(_N_GLOB, dtype=np.int64)
+
+    params = np.zeros(_N_PARAMS, dtype=np.int64)
+    params[_P_N] = n
+    params[_P_QUANTUM] = engine.quantum
+    params[_P_NO_LIMIT] = sys.maxsize
+    params[_P_LINE_SHIFT] = engine._line_shift
+    params[_P_CHUNK_SHIFT] = engine._chunk_shift
+    params[_P_CPP_MASK] = engine._cpp_mask
+    params[_P_SET_MASK] = nodes[0].l1.set_mask
+    params[_P_RAC_MASK] = nodes[0].rac.entry_mask
+    params[_P_RAC_VICTIM] = 1 if engine._rac_victim else 0
+    params[_P_HIT_CYCLES] = engine._hit_cycles
+    params[_P_RAC_CYCLES] = engine._rac_cycles
+    params[_P_DSM2] = engine._dsm2
+    params[_P_GRANT_EX] = 1 if directory.grant_exclusive else 0
+    params[_P_STALL_INV] = 1 if machine.protocol.stall_on_invalidate else 0
+    params[_P_SKIP_NODE] = config.debug_skip_invalidate_node
+    params[_P_BANK_MASK] = mem0.bank_mask
+    params[_P_MEM_SERVICE] = mem0.service_cycles
+    params[_P_MEM_OCC] = mem0.occupancy_cycles
+    params[_P_MEM_MAXQ] = mem0.max_queue
+    params[_P_BUS_OCC] = bus0.occupancy
+    params[_P_BUS_FIXED] = bus0.fixed_cost
+    params[_P_BUS_MAXQ] = bus0.max_queue
+    params[_P_NET_OCC] = network.port_occupancy
+    params[_P_NET_MAXQ] = network.max_queue
+    params[_P_LPC] = 1 << engine._chunk_shift
+    params[_P_N_PAGES] = max(n_pages, 1)
+    params[_P_N_SETS] = n_sets
+    params[_P_N_BANKS] = n_banks
+    params[_P_RAC_ENTRIES] = rac_entries
+    params[_P_PC_SHIFT] = engine._line_shift - engine._chunk_shift
+    params[_P_N_CHUNKS] = max(n_chunks, 1)
+
+    # --- install the views: arrays become the single source of truth -
+    directory.copyset = _MaskDict(copyset)
+    directory.owner = _OwnerDict(owner)
+    directory.refetch_count = _RefetchDict(refetch, n)
+    home_view = _HomeDict(home)
+    allocator.home = home_view
+    engine._home = home_view
+    for i, node in enumerate(nodes):
+        pt = node.page_table
+        pt.mode = _ModeDict(modes[i])
+        pt.scoma_valid = _ScomaValidDict(scoma_valid[i], modes[i])
+        node.pagecache_hits = _PcHitsDict(pc_hits[i])
+        node.tlb.ref_bits = _RefBitsDict(ref_bits[i])
+        node.owned = _ChunkSet(owned[i])
+        node.ever_fetched = _ChunkSet(ever[i])
+        node.l1.tags = _IntList(l1_tags[i])
+        node.l1.dirty = _BoolList(l1_dirty[i])
+        node.rac.chunks = _IntList(rac_arr[i])
+
+    # --- wire the C struct -------------------------------------------
+    state = ffi.new("SoaState *")
+    keepalive = []
+
+    def _ptr(arr, ctype):
+        keepalive.append(arr)
+        return ffi.cast(ctype, arr.ctypes.data)
+
+    state.P = _ptr(params, "int64_t *")
+    state.kinds = _ptr(np.ascontiguousarray(kinds_all), "uint8_t *")
+    state.args = _ptr(np.ascontiguousarray(args_all), "int64_t *")
+    state.tr_off = _ptr(np.ascontiguousarray(tr_off), "int64_t *")
+    state.tr_len = _ptr(np.ascontiguousarray(tr_len), "int64_t *")
+    state.pos = _ptr(pos, "int64_t *")
+    state.clock = _ptr(clock, "int64_t *")
+    state.arrival = _ptr(arrival, "int64_t *")
+    state.barrier_id = _ptr(barrier_id, "int64_t *")
+    state.finished = _ptr(finished, "uint8_t *")
+    state.waiting = _ptr(waiting, "uint8_t *")
+    state.ctl = _ptr(ctl, "int64_t *")
+    state.l1_tags = _ptr(l1_tags, "int64_t *")
+    state.l1_dirty = _ptr(l1_dirty, "uint8_t *")
+    state.rac = _ptr(rac_arr, "int64_t *")
+    state.owned = _ptr(owned, "uint8_t *")
+    state.ever = _ptr(ever, "uint8_t *")
+    state.copyset = _ptr(copyset, "int64_t *")
+    state.owner = _ptr(owner, "int64_t *")
+    state.refetch = _ptr(refetch, "int64_t *")
+    state.modes = _ptr(modes, "int64_t *")
+    state.scoma_valid = _ptr(scoma_valid, "int64_t *")
+    state.pc_hits = _ptr(pc_hits, "int64_t *")
+    state.ref_bits = _ptr(ref_bits, "uint8_t *")
+    state.home = _ptr(home, "int64_t *")
+    state.net_base = _ptr(net_base, "int64_t *")
+    state.net_port = _ptr(net_port, "int64_t *")
+    state.mem_busy = _ptr(mem_busy, "int64_t *")
+    state.bus_busy = _ptr(bus_busy, "int64_t *")
+    state.below_min = _ptr(below_min, "uint8_t *")
+    state.next_run = _ptr(next_run, "int64_t *")
+    state.thr = _ptr(thr, "int64_t *")
+    state.st = _ptr(st, "int64_t *")
+    state.aux = _ptr(aux, "int64_t *")
+    state.glob = _ptr(glob, "int64_t *")
+
+    buses = machine.buses
+
+    def _timing_in():
+        """Copy live timing state (lists/scalars) into the arrays."""
+        for i, node in enumerate(nodes):
+            mem_busy[i, :] = node.memory.busy_until
+            bus_busy[i] = buses[i].busy_until
+            below_min[i] = 1 if node.pool.below_min else 0
+            next_run[i] = node.daemon.next_run_at
+            thr[i] = node.policy_state.effective_threshold()
+        net_port[:] = network.port_busy_until
+
+    def _timing_out():
+        """Copy the arrays back into the live objects (plain ints)."""
+        for i, node in enumerate(nodes):
+            node.memory.busy_until[:] = mem_busy[i].tolist()
+            buses[i].busy_until = int(bus_busy[i])
+        network.port_busy_until[:] = net_port.tolist()
+
+    # --- drive the kernel --------------------------------------------
+    while True:
+        _timing_in()
+        rc = int(lib.soa_run(state))
+        _timing_out()
+        if rc == _RESIDUAL:
+            best = int(ctl[_BEST])
+            now = int(ctl[_NOW])
+            now += engine._shared_ref(nodes[best], int(ctl[_LINE]),
+                                      bool(ctl[_ISW]), now)
+            ctl[_NOW] = now
+        elif rc == _DAEMON:
+            nodes[int(ctl[_BEST])].run_daemon_if_due(int(ctl[_NOW]))
+        elif rc == _BARRIER:
+            clock_l = clock.tolist()
+            arrival_l = arrival.tolist()
+            waiting_l = [bool(x) for x in waiting]
+            pos_l = pos.tolist()
+            end_l = tr_len.tolist()
+            finished_l = [bool(x) for x in finished]
+            bid_l = barrier_id.tolist()
+            engine._release_barrier(nodes, clock_l, arrival_l, waiting_l,
+                                    pos_l, end_l, finished_l, bid_l)
+            clock[:] = clock_l
+            waiting[:] = [1 if w else 0 for w in waiting_l]
+            finished[:] = [1 if f else 0 for f in finished_l]
+        elif rc == _DEADLOCK:
+            _merge_deltas(engine, st, aux, glob)
+            raise RuntimeError("deadlock: all unfinished nodes are waiting"
+                               " at a barrier that never released")
+        else:  # _DONE
+            _merge_deltas(engine, st, aux, glob)
+            return [int(c) for c in clock]

@@ -267,6 +267,43 @@ class WorkloadTraces:
         r = self.max_remote_pages(lines_per_page)
         return h / (h + r) if (h + r) else 1.0
 
+    def soa(self) -> tuple:
+        """Structure-of-arrays decode of the whole workload, cached.
+
+        Returns ``(kinds, args, offsets, lengths, ref_lo, ref_hi)``:
+        every node trace concatenated into one contiguous ``uint8`` kind
+        array and one contiguous ``int64`` arg array, with per-node
+        ``offsets``/``lengths`` (``int64``) locating node *i*'s events at
+        ``[offsets[i], offsets[i] + lengths[i])``.  ``ref_lo``/``ref_hi``
+        are the smallest and largest line id any READ/WRITE event
+        references (``0``/``-1`` when there are none) -- the vectorized
+        replay substrate (:mod:`repro.sim.soatrace`) sizes and bounds-
+        checks its dense state arrays with them.
+
+        The decode is computed once and cached on the workload object:
+        the evaluation matrix replays one workload under many
+        architectures and pressures, and the per-process trace memo
+        shares the ``WorkloadTraces`` instance across those runs, so the
+        concatenation cost amortises the same way :meth:`Trace.as_lists`
+        does for the scalar loops.  All arrays are read-only for
+        callers.
+        """
+        cached = getattr(self, "_soa_cache", None)
+        if cached is None:
+            kinds = np.concatenate([t.kinds for t in self.traces])
+            args = np.concatenate([t.args for t in self.traces])
+            lengths = np.array([len(t) for t in self.traces], dtype=np.int64)
+            offsets = np.zeros(len(lengths), dtype=np.int64)
+            np.cumsum(lengths[:-1], out=offsets[1:])
+            refs = args[kinds <= EV_WRITE]
+            if len(refs):
+                ref_lo, ref_hi = int(refs.min()), int(refs.max())
+            else:
+                ref_lo, ref_hi = 0, -1
+            cached = (kinds, args, offsets, lengths, ref_lo, ref_hi)
+            self._soa_cache = cached
+        return cached
+
     def content_hash(self) -> str:
         """Stable 16-hex digest of the complete workload.
 

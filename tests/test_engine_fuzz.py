@@ -78,12 +78,24 @@ def build_workload(per_node) -> WorkloadTraces:
 
 @pytest.mark.parametrize("arch", sorted(ARCH_KWARGS))
 class TestEngineFuzz:
-    @given(workload_events, st.sampled_from([0.3, 0.9]))
+    @given(workload_events, st.sampled_from([0.3, 0.9]),
+           st.booleans())
     @settings(max_examples=MAX_EXAMPLES, deadline=None)
-    def test_invariants(self, arch, per_node, pressure):
+    def test_invariants(self, arch, per_node, pressure, vector):
+        """Every accounting invariant, with the checker online.
+
+        Runs under both loop selections: attaching the checker
+        subscribes an unfiltered observer, so a ``vector_path=True``
+        engine degrades to the scalar fast path -- this leg proves a
+        checked run under ``REPRO_VECTOR_PATH=1`` stays loss-free and
+        violation-silent, the same contract the fast path's own
+        degradations honour.  (True vectorized runs are audited in
+        ``test_vector_path_invariance`` below.)
+        """
         wl = build_workload(per_node)
         cfg = SystemConfig(n_nodes=N_NODES, memory_pressure=pressure)
-        engine = Engine(wl, make_policy(arch, **ARCH_KWARGS[arch]), cfg)
+        engine = Engine(wl, make_policy(arch, **ARCH_KWARGS[arch]), cfg,
+                        vector_path=vector)
         checker = InvariantChecker.attach(engine, granularity="event")
         result = engine.run()
 
@@ -135,3 +147,46 @@ class TestEngineFuzz:
         a = Engine(wl, make_policy(arch, **ARCH_KWARGS[arch]), cfg).run()
         b = Engine(wl, make_policy(arch, **ARCH_KWARGS[arch]), cfg).run()
         assert a.aggregate().as_dict() == b.aggregate().as_dict()
+
+    @given(workload_events, st.sampled_from([0.3, 0.9]),
+           st.sampled_from([60, 500, 2000]))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_three_path_invariance(self, arch, per_node, pressure, quantum):
+        """Path invariance: identical cycles/stats/events on all three
+        replay loops for random workloads.
+
+        The quantum samples cover trace-spanning slices (2000 swallows
+        these tiny traces whole, no mid-trace rescheduling) and tight
+        interleavings (60 forces many slices per trace, exercising the
+        scheduler handoff and the vector kernel's resume protocol); the
+        random read/write bursts hit the PR3 coalescing cases in the
+        scalar loops, which the SoA decode must reproduce event for
+        event.
+        """
+        wl = build_workload(per_node)
+
+        def run(**kwargs):
+            cfg = SystemConfig(n_nodes=N_NODES, memory_pressure=pressure)
+            policy = make_policy(arch, **ARCH_KWARGS[arch])
+            return Engine(wl, policy, cfg, quantum=quantum,
+                          **kwargs).run().to_dict()
+
+        reference = run(slow_path=True)
+        assert run() == reference
+        assert run(vector_path=True) == reference
+
+    @given(workload_events, st.sampled_from([0.3, 0.9]))
+    @settings(max_examples=max(5, MAX_EXAMPLES // 2), deadline=None)
+    def test_vector_run_passes_structural_audit(self, arch, per_node,
+                                                pressure):
+        """A genuinely vectorized run (no checker attached, so no
+        fallback) must leave machine state that passes the structural
+        coherence audit -- which traverses the array-backed dict/set
+        views the vector substrate installs, validating the views'
+        iteration/containment semantics against the real model."""
+        wl = build_workload(per_node)
+        cfg = SystemConfig(n_nodes=N_NODES, memory_pressure=pressure)
+        engine = Engine(wl, make_policy(arch, **ARCH_KWARGS[arch]), cfg,
+                        vector_path=True)
+        engine.run()
+        audit_machine(engine)
