@@ -1,21 +1,30 @@
 """Continuous-benchmark regression gate against the committed baseline.
 
 Compares fresh runs of the headline benchmarks -- ``matrix_micro``
-(scalar replay throughput), ``vector:matrix_micro`` (the vectorized
-SoA loop on the same cells) and ``matrix_e2e`` (the full 90-cell
-parallel matrix) -- against the numbers committed in ``BENCH_pr8.json``
-at the repo root, and fails on a >20% events/sec drop.  Hardware
-differences between the committing machine and the test machine are
-real, so the gate is deliberately loose -- it exists to catch
-order-of-magnitude regressions (an accidentally disabled fast path, a
-per-event allocation creeping back in, the trace cache silently
-missing), not single-digit noise.  Five hardware-independent
-self-checks back it up, all measured as same-machine ratios: the fast
-path must outrun the reference loop, the vector path must beat the
-fast path by >=3x when the compiled kernel is available, a trace-cache
-hit must beat regeneration, ``--obs`` telemetry must stay within its
-2% budget, and a warm-server round-trip must beat a cold CLI
-invocation by >=5x.
+(default-dispatch replay throughput, vector-auto since PR 9),
+``vector:matrix_micro`` (the vectorized SoA loop pinned explicitly)
+and ``matrix_e2e`` (the full 90-cell parallel matrix) -- against the
+numbers committed in ``BENCH_pr9.json`` at the repo root, and fails on
+a >20% events/sec drop.  Hardware differences between the committing
+machine and the test machine are real, so the gate is deliberately
+loose -- it exists to catch order-of-magnitude regressions (an
+accidentally disabled fast path, a per-event allocation creeping back
+in, the trace cache silently missing), not single-digit noise.
+
+Hardware-independent self-checks back it up, all measured as
+same-process ratios: the fast path must outrun the reference loop, the
+vector path must beat the fast path by >=3x when the compiled kernel
+is available, a default-constructed engine must actually dispatch into
+the kernel (the PR-9 vector-auto claim -- a silent eligibility
+regression would otherwise keep every gate green while the matrix
+quietly runs scalar), a trace-cache hit must beat regeneration,
+``--obs`` telemetry must stay within its budget, and a warm-server
+round-trip must beat a cold CLI invocation by >=5x.  Two artifact
+checks pin the committed payload itself: the embedded baseline must be
+the PR-8 payload and its recorded ``matrix_e2e`` speedup must hold the
+>=2x acceptance claim, and a fresh ``matrix_e2e`` must clear an
+absolute throughput floor chosen to sit between scalar-default PR-8
+throughput and the vector-default number on the same hardware class.
 
 Opt-in: wall-clock assertions are inherently flaky on loaded CI
 runners, so these tests skip unless ``REPRO_PERF=1`` is set::
@@ -34,7 +43,7 @@ import pytest
 
 from repro.perf import bench_matrix_micro, load_bench_json
 
-BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr8.json"
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr9.json"
 
 #: Fail below this fraction of the committed throughput.
 FLOOR = 0.8
@@ -42,6 +51,30 @@ FLOOR = 0.8
 #: Minimum fast->vector speedup on the matrix micro slice, enforced
 #: whenever the compiled SoA kernel is available on this host.
 VECTOR_FLOOR = 3.0
+
+#: Minimum committed matrix_e2e speedup over the embedded PR-8
+#: baseline -- the PR-9 acceptance claim, checked against the artifact
+#: (both payloads were measured on the same machine and session, so
+#: the ratio is hardware-comparable in a way fresh-vs-committed never
+#: is).
+E2E_CLAIM = 2.0
+
+#: Absolute matrix_e2e throughput floor (events/sec) on a fresh run.
+#: Calibrated to split the substrates on commodity hardware: the PR-8
+#: scalar-default matrix ran at ~0.78M ev/s on a 1-core host and the
+#: PR-9 vector-default matrix at ~2.2M ev/s on the same host, so 1.0M
+#: passes vector-auto with >2x margin while an accidental whole-matrix
+#: fallback to the scalar path lands below it.
+E2E_ABS_FLOOR = 1_000_000
+
+#: ``--obs`` overhead budget on the matrix micro slice.  The absolute
+#: telemetry cost (spans + kind-filtered backoff rows + JSONL sink,
+#: ~10ms on the slice) has not moved since the 1.02x era, but the
+#: vector-default replay base under it is ~4x faster, so the same
+#: work is a larger *fraction*; 1.10x keeps gating the failure mode
+#: that matters (an unfiltered observer disabling kernel eligibility
+#: costs 3-4x, not 10%).
+OBS_BUDGET = 1.10
 
 pytestmark = [
     pytest.mark.perf,
@@ -51,10 +84,14 @@ pytestmark = [
 
 
 @pytest.fixture(scope="module")
-def committed() -> dict:
+def payload() -> dict:
     if not BENCH_JSON.exists():
         pytest.skip(f"no committed benchmark file at {BENCH_JSON}")
-    payload = load_bench_json(BENCH_JSON)
+    return load_bench_json(BENCH_JSON)
+
+
+@pytest.fixture(scope="module")
+def committed(payload) -> dict:
     return {r["name"]: r for r in payload["results"]}
 
 
@@ -94,7 +131,9 @@ def test_vector_matrix_micro_throughput(committed):
 
 
 def test_matrix_e2e_throughput(committed):
-    """End-to-end gate: trace cache + dispatch + engine, all at once."""
+    """End-to-end gate: trace cache + dispatch + engine, all at once,
+    plus the absolute floor backing the PR-9 vector-default claim on
+    this hardware class (see ``E2E_ABS_FLOOR``)."""
     from repro.perf import bench_matrix_e2e
 
     base = committed.get("matrix_e2e")
@@ -106,6 +145,74 @@ def test_matrix_e2e_throughput(committed):
     assert fresh.events_per_sec >= floor, (
         f"matrix_e2e regressed: {fresh.events_per_sec:,.0f} ev/s is below "
         f"{FLOOR:.0%} of the committed {base['events_per_sec']:,.0f} ev/s")
+    assert fresh.events_per_sec >= E2E_ABS_FLOOR, (
+        f"matrix_e2e at {fresh.events_per_sec:,.0f} ev/s is below the "
+        f"absolute {E2E_ABS_FLOOR:,} ev/s floor -- throughput in the "
+        f"scalar-default range suggests the matrix is no longer replaying "
+        f"through the vector kernel")
+
+
+def test_committed_e2e_speedup_claim(payload):
+    """Artifact check on the committed payload itself: the embedded
+    baseline is the PR-8 payload and the recorded ``matrix_e2e``
+    speedup holds the >=2x acceptance claim.  Both sides of that ratio
+    were measured on the committing machine in one session, so unlike
+    every fresh-vs-committed comparison above it does not loosen for
+    hardware differences."""
+    baseline = payload.get("baseline")
+    assert baseline, f"{BENCH_JSON.name} embeds no baseline payload"
+    base_e2e = {r["name"]: r for r in baseline["results"]}.get("matrix_e2e")
+    assert base_e2e, f"{BENCH_JSON.name}'s embedded baseline has no matrix_e2e"
+    speedup = payload["speedup_vs_baseline"].get("matrix_e2e")
+    assert speedup is not None, (
+        f"{BENCH_JSON.name} records no matrix_e2e speedup_vs_baseline")
+    assert speedup >= E2E_CLAIM, (
+        f"committed matrix_e2e speedup {speedup:.2f}x over the embedded "
+        f"baseline ({base_e2e['wall_s']:.1f}s) is below the {E2E_CLAIM:.0f}x "
+        f"claim; regenerate {BENCH_JSON.name} on a quiet machine or fix the "
+        f"regression")
+
+
+def test_vector_default_engages_kernel(monkeypatch):
+    """Same-process self-check of the vector-auto default: a
+    default-constructed :class:`Engine` (no flags, no environment
+    overrides) must dispatch into the compiled kernel and complete
+    without falling back.  The parity suites prove the kernel is
+    *correct* when selected; only this test proves it is *selected* --
+    an eligibility regression (or a dispatch typo) would otherwise
+    degrade every default run to the scalar path silently, and the
+    relative gates above would only notice after a committed-baseline
+    refresh."""
+    from repro.harness.experiment import get_workload, scaled_policy
+    from repro.sim import soatrace
+    from repro.sim.config import SystemConfig
+    from repro.sim.engine import Engine, default_vector_mode
+
+    monkeypatch.delenv("REPRO_VECTOR_PATH", raising=False)
+    monkeypatch.delenv("REPRO_SLOW_PATH", raising=False)
+    assert default_vector_mode() == "auto", (
+        "a clean environment must dispatch in vector-auto mode")
+    if not soatrace.vector_available():
+        pytest.skip("compiled SoA kernel unavailable on this host")
+
+    outcomes = []
+    real_run_vector = soatrace.run_vector
+
+    def probe(engine):
+        result = real_run_vector(engine)
+        outcomes.append(result)
+        return result
+
+    # Engine._run_vector imports run_vector lazily from the module, so
+    # patching the module attribute intercepts the dispatch.
+    monkeypatch.setattr(soatrace, "run_vector", probe)
+    wl = get_workload("fft", 0.05)
+    cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=0.7)
+    Engine(wl, scaled_policy("ASCOMA"), config=cfg).run()
+    assert outcomes, "default-constructed Engine never reached run_vector"
+    assert outcomes[0] is not None, (
+        "run_vector fell back to the scalar path on a plain matrix cell; "
+        "kernel eligibility has regressed")
 
 
 def test_trace_cache_beats_regeneration():
@@ -124,17 +231,18 @@ def test_trace_cache_beats_regeneration():
 def test_obs_overhead_within_budget():
     """The ``--obs`` budget from docs/observability.md: full telemetry
     (cell/simulate spans, kind-filtered backoff time series, JSONL
-    sink) must cost at most 2% wall-clock on the matrix micro slice.
-    Measured as a same-process ratio, so the gate is hardware
-    independent; a failure means an instrumentation site leaked onto
-    the hot path (most likely by subscribing an unfiltered observer,
-    which turns off the replay fast path)."""
+    sink) must stay within ``OBS_BUDGET`` wall-clock on the matrix
+    micro slice.  Measured as a same-process ratio, so the gate is
+    hardware independent; a failure means an instrumentation site
+    leaked onto the hot path (most likely by subscribing an unfiltered
+    observer, which disqualifies the run from the vector kernel and
+    the scalar fast path both)."""
     from repro.perf import bench_obs_overhead
 
     result = bench_obs_overhead(repeats=3)
-    assert result.meta["overhead_x"] <= 1.02, (
-        f"--obs overhead {result.meta['overhead_x']:.3f}x exceeds the 1.02x "
-        f"budget (observed {result.wall_s:.4f}s vs plain "
+    assert result.meta["overhead_x"] <= OBS_BUDGET, (
+        f"--obs overhead {result.meta['overhead_x']:.3f}x exceeds the "
+        f"{OBS_BUDGET:.2f}x budget (observed {result.wall_s:.4f}s vs plain "
         f"{result.meta['plain_wall_s']:.4f}s)")
 
 
@@ -170,7 +278,11 @@ def test_fast_path_beats_reference(committed):
         for app, arch, pr in MATRIX_CELLS:
             wl = wls[app]
             cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=pr)
-            Engine(wl, scaled_policy(arch), config=cfg, slow_path=slow).run()
+            # vector_path=False pins the scalar loop: under the
+            # vector-auto default the non-slow leg would otherwise
+            # measure the kernel, not the fast path this test names.
+            kwargs = {"slow_path": True} if slow else {"vector_path": False}
+            Engine(wl, scaled_policy(arch), config=cfg, **kwargs).run()
 
     fast = run_bench("fast", lambda: once(False), 1, repeats=2)
     slow = run_bench("slow", lambda: once(True), 1, repeats=2)

@@ -196,10 +196,15 @@ class Directory:
         the paper's Ncold term.  Returns the number of chunks the node
         was dropped from.
         """
+        first = page * self.chunks_per_page
+        bulk = getattr(self.copyset, "drop_node_bulk", None)
+        if bulk is not None:
+            # Array-backed copysets (vectorized replay): clear the
+            # node's bit across the whole page in one numpy sweep.
+            return bulk(self.owner, node, first, self.chunks_per_page)
         bit = 1 << node
         clear = ~bit
         dropped = 0
-        first = page * self.chunks_per_page
         for chunk in range(first, first + self.chunks_per_page):
             cs = self.copyset.get(chunk)
             if cs is not None and cs & bit:

@@ -43,16 +43,19 @@ class CoherenceProtocol:
 
     def __init__(self, directory: Directory, network: Network,
                  memories: list[BankedMemory],
-                 invalidate_chunk: Callable[[int, int], None] | None = None,
-                 demote_chunk: Callable[[int, int], None] | None = None,
+                 invalidate_chunk: Callable[..., None] | None = None,
+                 demote_chunk: Callable[..., None] | None = None,
                  stall_on_invalidate: bool = True) -> None:
         self.directory = directory
         self.network = network
         self.memories = memories
-        self.invalidate_chunk = invalidate_chunk or (lambda node, chunk: None)
+        #: Callbacks receive ``(node, chunk, now)`` with *now* the
+        #: protocol-time of the transition (event timestamping).
+        self.invalidate_chunk = (invalidate_chunk
+                                 or (lambda node, chunk, now=None: None))
         #: A read forwarded to a dirty owner demotes it to shared: the
         #: owner keeps its data but loses write permission.
-        self.demote_chunk = demote_chunk or (lambda node, chunk: None)
+        self.demote_chunk = demote_chunk or (lambda node, chunk, now=None: None)
         #: Sequential consistency stalls the writer for the slowest
         #: invalidation ack; release consistency overlaps them (the
         #: invalidations still happen -- only the stall differs).
@@ -90,7 +93,7 @@ class CoherenceProtocol:
             lat += net.one_way(home, node, now + lat)  # forward leg (approx: same cost class)
             prev_owner = out[4]
             if not is_write and prev_owner >= 0:
-                self.demote_chunk(prev_owner, chunk)
+                self.demote_chunk(prev_owner, chunk, now + lat)
         lat += net.one_way(home, node, now + lat)           # data response
         invalidations = out[2]
         if invalidations:
@@ -104,7 +107,7 @@ class CoherenceProtocol:
         (the slowest ack under SC, zero under RC)."""
         worst = 0
         for sharer in sharers:
-            self.invalidate_chunk(sharer, chunk)
+            self.invalidate_chunk(sharer, chunk, now)
             rt = self.network.round_trip(origin, sharer, now)
             if rt > worst:
                 worst = rt
@@ -136,7 +139,7 @@ class CoherenceProtocol:
             owner = prev_owner if prev_owner >= 0 else self._any_remote(node)
             lat += self.network.round_trip(node, owner, now + lat)
             if not is_write and prev_owner >= 0:
-                self.demote_chunk(prev_owner, chunk)
+                self.demote_chunk(prev_owner, chunk, now + lat)
         invalidations = out[2]
         if invalidations:
             lat += self._invalidate_all(invalidations, chunk, node, now + lat)

@@ -79,15 +79,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the on-disk result store")
     vector = parser.add_mutually_exclusive_group()
     vector.add_argument("--vector", action="store_true",
-                        help="replay through the vectorized SoA loop"
-                             " (sets REPRO_VECTOR_PATH=1 for this"
-                             " invocation and its pool workers; falls"
-                             " back to the scalar fast path where the"
-                             " compiled kernel is unavailable)")
+                        help="force the vectorized SoA loop (sets"
+                             " REPRO_VECTOR_PATH=1 for this invocation"
+                             " and its pool workers; falls back to the"
+                             " scalar fast path where the compiled"
+                             " kernel is unavailable)")
     vector.add_argument("--no-vector", action="store_true",
-                        help="force the scalar fast path even if"
-                             " REPRO_VECTOR_PATH=1 is set in the"
+                        help="pin the scalar fast path even if"
+                             " REPRO_VECTOR_PATH is set in the"
                              " environment")
+    vector.add_argument("--vector-mode", choices=("auto", "on", "off"),
+                        help="explicit three-state dispatch: 'auto'"
+                             " (the default with no flag and no"
+                             " REPRO_VECTOR_PATH) uses the kernel"
+                             " whenever the run is eligible, 'on' and"
+                             " 'off' match --vector/--no-vector")
     parser.add_argument("--refresh", action="store_true",
                         help="re-simulate cached cells (and re-store them)")
     parser.add_argument("--store-dir",
@@ -724,6 +730,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_VECTOR_PATH"] = "1"
     elif args.no_vector:
         os.environ["REPRO_VECTOR_PATH"] = "0"
+    elif args.vector_mode:
+        os.environ["REPRO_VECTOR_PATH"] = args.vector_mode
     from ..obs import use_obs
     from ..runtime import RunStore, TraceStore, use_store, use_trace_store
     store = None if args.no_cache else RunStore(args.store_dir)

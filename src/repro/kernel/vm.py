@@ -33,8 +33,8 @@ class PageTable:
     """One node's shared-page mapping state."""
 
     def __init__(self, chunks_per_page: int) -> None:
-        if chunks_per_page <= 0 or chunks_per_page > 64:
-            raise ValueError("chunks_per_page must be in 1..64 (bitmask bound)")
+        if chunks_per_page <= 0:
+            raise ValueError("chunks_per_page must be positive")
         self.chunks_per_page = chunks_per_page
         self.full_mask = (1 << chunks_per_page) - 1
         self.mode: dict[int, int] = {}

@@ -119,20 +119,27 @@ class DirectMappedCache:
         amap = self.amap
         lpp = amap.lines_per_page
         first = page * lpp
-        flushed = 0
         tags = self.tags
         mask = self.set_mask
         # A page's lines map to `lines_per_page` consecutive sets (mod
         # n_sets); iterate those rather than scanning the whole cache.
         span = min(lpp, self.n_sets)
-        for offset in range(span):
-            # Every line of the page whose set == (first+offset)&mask.
-            s = (first + offset) & mask
-            tag = tags[s]
-            if tag != -1 and (tag >> amap.line_shift) == page:
-                tags[s] = -1
-                self.dirty[s] = False
-                flushed += 1
+        bulk = getattr(tags, "flush_page_bulk", None)
+        if bulk is not None:
+            # Array-backed tag store (vectorized replay): one numpy
+            # sweep over the span instead of span single-element reads.
+            flushed = bulk(self.dirty, first, span, mask,
+                           amap.line_shift, page)
+        else:
+            flushed = 0
+            for offset in range(span):
+                # Every line of the page whose set == (first+offset)&mask.
+                s = (first + offset) & mask
+                tag = tags[s]
+                if tag != -1 and (tag >> amap.line_shift) == page:
+                    tags[s] = -1
+                    self.dirty[s] = False
+                    flushed += 1
         self.stats.flushed_lines += flushed
         return flushed
 

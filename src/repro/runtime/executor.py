@@ -131,6 +131,13 @@ def _pool_init(trace_root: str | None) -> None:
         from .tracecache import TraceStore, set_default_trace_store
 
         set_default_trace_store(TraceStore(trace_root))
+    # Resolve the vector kernel before the first cell (a no-op under
+    # fork, where the parent's loaded-kernel memo is inherited; under
+    # spawn this dlopens the parent's cached .so instead of paying the
+    # probe inside a cell).
+    from ..sim.soatrace import vector_available
+
+    vector_available()
 
 
 def _prewarm(specs) -> dict:
@@ -141,9 +148,15 @@ def _prewarm(specs) -> dict:
     for free.  A workload whose generation raises is skipped — the same
     failure reproduces inside :func:`run_spec`, where it is isolated
     into a :class:`RunFailure` instead of killing the sweep.
+
+    The vector kernel is probed (built + dlopened) here too: one
+    compile in the parent instead of one per forked worker, and the
+    LPT cost model's substrate detection then reads a warm memo.
     """
+    from ..sim.soatrace import vector_available
     from .costs import workload_events
 
+    vector_available()
     events_of: dict = {}
     for key in dict.fromkeys((s.app, s.scale) for s in specs):
         try:

@@ -34,6 +34,21 @@ never enters :func:`trace_key` for the same reason it stays out of
 same trace arrays, and the vectorized loop's SoA decode
 (:meth:`~repro.sim.trace.WorkloadTraces.soa`) is a per-process view
 built lazily on top of whatever this cache loads.
+
+SoA sidecars
+------------
+With the vector kernel the default substrate, every fresh process pays
+the SoA decode (concatenate all node traces into flat arrays) before
+its first replay.  ``put`` therefore also writes a ``.soa`` sidecar
+next to each ``.trace`` artifact — flat kind/arg arrays in a
+memory-mappable layout — and ``get`` attaches it read-only via
+``np.memmap``, so warm processes skip the decode *and* share the
+page-cache copy of the arrays across concurrent matrix workers.  The
+sidecar is strictly additive: it is keyed by the workload's
+``content_hash`` plus :data:`SOA_FORMAT_VERSION`, and any mismatch,
+truncation, foreign byte order or missing file is a silent decode miss
+(the in-memory decode runs as before), never an error.  Older caches
+containing only ``.trace`` files keep working unchanged.
 """
 
 from __future__ import annotations
@@ -42,18 +57,129 @@ import contextlib
 import hashlib
 import json
 import os
+import sys
 import tempfile
 from pathlib import Path
 
+import numpy as np
+
 from ..sim.trace import TRACE_FORMAT_VERSION, WorkloadTraces
 
-__all__ = ["TRACE_STORE_VERSION", "TraceStore", "trace_key", "fetch_traces",
-           "clear_trace_memo", "get_default_trace_store",
-           "set_default_trace_store", "use_trace_store"]
+__all__ = ["TRACE_STORE_VERSION", "SOA_FORMAT_VERSION", "TraceStore",
+           "trace_key", "fetch_traces", "clear_trace_memo",
+           "get_default_trace_store", "set_default_trace_store",
+           "use_trace_store", "write_soa_sidecar", "attach_soa_sidecar"]
 
 #: Cache schema version (file naming / keying rules).  Bump when the
 #: keying scheme itself changes; old artifacts then stop matching.
 TRACE_STORE_VERSION = 1
+
+#: Version of the ``.soa`` sidecar layout.  Bump when the byte layout
+#: or the tuple shape of ``WorkloadTraces.soa()`` changes; stale
+#: sidecars then read as decode misses and are rewritten on the next
+#: ``put``.
+SOA_FORMAT_VERSION = 1
+
+_SOA_MAGIC = b"ASOA1\n"
+
+
+def _pad8(offset: int) -> int:
+    """Bytes of zero padding needed to 8-align *offset*."""
+    return -offset % 8
+
+
+def write_soa_sidecar(trace_path: Path, traces: WorkloadTraces) -> bool:
+    """Write ``<stem>.soa`` next to *trace_path*; best-effort.
+
+    Layout: magic, one JSON header line (format version, workload
+    ``content_hash``, per-node lengths, ref bounds, byte order), zero
+    padding to 8 bytes, the raw ``uint8`` kind array, padding, the raw
+    little-endian ``int64`` arg array.  Returns ``False`` (and leaves
+    no partial file behind) on any failure — an unwritable cache
+    directory must never break trace generation.
+    """
+    kinds, args, _offsets, lengths, ref_lo, ref_hi = traces.soa()
+    header = {
+        "soa_format_version": SOA_FORMAT_VERSION,
+        "content_hash": traces.content_hash(),
+        "n_nodes": traces.n_nodes,
+        "lengths": [int(x) for x in lengths],
+        "ref_lo": ref_lo,
+        "ref_hi": ref_hi,
+        "byteorder": "little",
+    }
+    blob = json.dumps(header, sort_keys=True,
+                      separators=(",", ":")).encode() + b"\n"
+    path = trace_path.with_suffix(".soa")
+    tmp = None
+    try:
+        fd, tmp = tempfile.mkstemp(dir=trace_path.parent, suffix=".tmp")
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(_SOA_MAGIC)
+            fh.write(blob)
+            fh.write(b"\0" * _pad8(fh.tell()))
+            fh.write(np.ascontiguousarray(kinds, dtype=np.uint8).tobytes())
+            fh.write(b"\0" * _pad8(fh.tell()))
+            fh.write(np.ascontiguousarray(args, dtype="<i8").tobytes())
+        os.replace(tmp, path)
+        return True
+    except OSError:
+        if tmp is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+        return False
+
+
+def attach_soa_sidecar(trace_path: Path, traces: WorkloadTraces) -> bool:
+    """Memory-map ``<stem>.soa`` into ``traces``' SoA cache slot.
+
+    Validates magic, format version, workload content hash, byte order
+    and exact file size before trusting the arrays; every mismatch is
+    a silent decode miss (returns ``False``), after which
+    :meth:`WorkloadTraces.soa` recomputes in memory exactly as it
+    would without a sidecar.
+    """
+    if sys.byteorder != "little":  # pragma: no cover - exotic hosts
+        return False
+    path = trace_path.with_suffix(".soa")
+    try:
+        with open(path, "rb") as fh:
+            if fh.read(len(_SOA_MAGIC)) != _SOA_MAGIC:
+                return False
+            header = json.loads(fh.readline().decode())
+            if header.get("soa_format_version") != SOA_FORMAT_VERSION:
+                return False
+            if header.get("byteorder") != "little":
+                return False
+            if header.get("content_hash") != traces.content_hash():
+                return False
+            lengths_list = header.get("lengths")
+            if (not isinstance(lengths_list, list)
+                    or len(lengths_list) != traces.n_nodes):
+                return False
+            pos = fh.tell()
+        lengths = np.array(lengths_list, dtype=np.int64)
+        total = int(lengths.sum())
+        k_off = pos + _pad8(pos)
+        a_off = k_off + total
+        a_off += _pad8(a_off)
+        if path.stat().st_size != a_off + 8 * total:
+            return False
+        if total:
+            kinds = np.memmap(path, dtype=np.uint8, mode="r",
+                              offset=k_off, shape=(total,))
+            args = np.memmap(path, dtype=np.dtype("<i8"), mode="r",
+                             offset=a_off, shape=(total,))
+        else:
+            kinds = np.zeros(0, dtype=np.uint8)
+            args = np.zeros(0, dtype=np.int64)
+        offsets = np.zeros(len(lengths), dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        traces._soa_cache = (kinds, args, offsets, lengths,
+                             int(header["ref_lo"]), int(header["ref_hi"]))
+        return True
+    except (OSError, ValueError, KeyError, TypeError):
+        return False
 
 
 def trace_key(app: str, scale: float, **overrides) -> str:
@@ -88,6 +214,7 @@ class TraceStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.soa_attaches = 0
 
     # -- paths ----------------------------------------------------------
     def path_for(self, app: str, scale: float, **overrides) -> Path:
@@ -112,6 +239,8 @@ class TraceStore:
             self.misses += 1
             return None
         self.hits += 1
+        if attach_soa_sidecar(path, traces):
+            self.soa_attaches += 1
         return traces
 
     def __contains__(self, key: tuple) -> bool:
@@ -134,6 +263,7 @@ class TraceStore:
                 os.unlink(tmp)
             raise
         self.writes += 1
+        write_soa_sidecar(path, traces)
         return path
 
     # -- maintenance ----------------------------------------------------
@@ -152,29 +282,38 @@ class TraceStore:
                 "events": sum(len(t) for t in traces.traces),
                 "content_hash": traces.content_hash(),
                 "bytes": path.stat().st_size,
+                "soa": path.with_suffix(".soa").exists(),
             })
         return out
 
     def clear(self) -> int:
-        """Delete every artifact; returns the number removed."""
+        """Delete every artifact (and its sidecar); returns .trace count."""
         removed = 0
         for path in self.root.glob("*.trace"):
             with contextlib.suppress(OSError):
                 path.unlink()
                 removed += 1
+            with contextlib.suppress(OSError):
+                path.with_suffix(".soa").unlink()
         return removed
 
     def size_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self.root.glob("*.trace"))
+        return sum(p.stat().st_size
+                   for pattern in ("*.trace", "*.soa")
+                   for p in self.root.glob(pattern))
 
     def describe(self) -> dict:
         n = len(list(self.root.glob("*.trace"))) if self.root.is_dir() else 0
+        n_soa = len(list(self.root.glob("*.soa"))) if self.root.is_dir() else 0
         return {"root": str(self.root), "entries": n,
-                "bytes": self.size_bytes() if n else 0,
+                "soa_sidecars": n_soa,
+                "bytes": self.size_bytes() if (n or n_soa) else 0,
                 "format_version": TRACE_FORMAT_VERSION,
                 "store_version": TRACE_STORE_VERSION,
+                "soa_format_version": SOA_FORMAT_VERSION,
                 "session": {"hits": self.hits, "misses": self.misses,
-                            "writes": self.writes}}
+                            "writes": self.writes,
+                            "soa_attaches": self.soa_attaches}}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TraceStore({str(self.root)!r})"

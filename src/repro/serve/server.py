@@ -192,12 +192,23 @@ class JobServer:
             await asyncio.gather(*tasks, return_exceptions=True)
 
     def describe(self) -> dict:
-        """Server info embedded in ``ping`` responses."""
+        """Server info embedded in ``ping`` responses.
+
+        The ``vector`` block reports the replay substrate cells will
+        actually dispatch on: the process-wide mode
+        (:func:`~repro.sim.engine.default_vector_mode`) and whether the
+        compiled kernel loads here (workers fork from, or are
+        configured identically to, this process).
+        """
+        from ..sim.engine import default_vector_mode
+        from ..sim.soatrace import vector_available
         from .protocol import PROTOCOL_VERSION
         return {
             "protocol": PROTOCOL_VERSION,
             "backend": self.backend,
             "workers": self.workers,
+            "vector": {"mode": default_vector_mode(),
+                       "available": vector_available()},
             "max_queued": self.max_queued,
             "live_jobs": len(self.jobs.live()),
             "jobs": len(self.jobs),
@@ -568,6 +579,11 @@ class JobServer:
         tears the pool down.
         """
         from ..runtime.tracecache import get_default_trace_store
+        from ..sim.soatrace import vector_available
+        # Build/dlopen the vector kernel once before any worker exists:
+        # forked workers inherit the loaded memo, spawned ones dlopen
+        # the .so this call just cached.
+        vector_available()
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         self._closing = False

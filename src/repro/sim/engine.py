@@ -33,25 +33,32 @@ The engine carries three replay loops producing **bit-identical**
 :class:`RunResult`s (``tests/test_perf_parity.py`` enforces this for
 every architecture):
 
-* the **fast path** (default) inlines the direct-mapped L1 hit case
-  into the event loop, hoists per-event attribute lookups into locals,
-  replays cached list-form traces, and (optionally) memoizes each
-  node's page -> (mode, home) lookups, invalidated through the event
-  bus on every page-management transition;
+* the **fast path** inlines the direct-mapped L1 hit case into the
+  event loop, hoists per-event attribute lookups into locals, replays
+  cached list-form traces, and (optionally) memoizes each node's
+  page -> (mode, home) lookups, invalidated through the event bus on
+  every page-management transition;
 * the **reference path** (``REPRO_SLOW_PATH=1`` or ``slow_path=True``)
   is the straightforward one-call-per-event loop the fast path was
   derived from.  It is the escape hatch for debugging and the parity
   oracle for every future hot-path change;
-* the **vector path** (``REPRO_VECTOR_PATH=1``, ``vector_path=True``
-  or ``repro --vector``) decodes the trace to structure-of-arrays
-  form and replays it through the compiled SoA kernel in
+* the **vector path** decodes the trace to structure-of-arrays form
+  and replays it through the compiled SoA kernel in
   :mod:`repro.sim.soatrace`, exiting to the scalar machinery for
   residual events and degrading (loss-free) to the fast path when the
   engine is ineligible or no kernel can be built.
 
-Selection precedence is constructor over environment; asking for the
-reference and vector loops *at the same level* raises ``ValueError``.
-See ``docs/performance.md`` for the measured speedups.
+Vector dispatch is three-state (``Engine.vector_mode``): ``auto`` --
+the default -- tries the kernel and silently falls back; ``on``
+(``REPRO_VECTOR_PATH=1``, ``vector_path=True`` or ``repro --vector``)
+is the explicit opt-in; ``off`` (``REPRO_VECTOR_PATH=0``,
+``vector_path=False`` or ``repro --no-vector``) pins the scalar
+loops.  Selection precedence is constructor over environment; asking
+for the reference loop and ``on`` *at the same level* raises
+``ValueError`` (``auto`` never conflicts -- slow_path simply wins).
+Loop selection is a runtime concern only: it never enters spec hashes
+or trace cache keys.  See ``docs/performance.md`` for the measured
+speedups.
 """
 
 from __future__ import annotations
@@ -68,10 +75,23 @@ from .machine import Machine
 from .stats import RunResult
 from .trace import EV_COMPUTE, EV_LOCAL, EV_WRITE, WorkloadTraces
 
-__all__ = ["Engine", "simulate"]
+__all__ = ["Engine", "simulate", "default_vector_mode"]
 
 #: How far (cycles) one node may run ahead of the runner-up clock.
 DEFAULT_QUANTUM = 2000
+
+
+def default_vector_mode() -> str:
+    """Vector mode (``auto``/``on``/``off``) an Engine gets from the
+    environment alone — what ``REPRO_VECTOR_PATH`` currently resolves
+    to, before any ctor override.  Used by the CLI and the job server
+    to report the process-wide dispatch default."""
+    raw = os.environ.get("REPRO_VECTOR_PATH", "").lower()
+    if raw in ("", "auto"):
+        return "auto"
+    if raw in ("0", "off", "no", "false"):
+        return "off"
+    return "on"
 
 #: Event kinds after which a memoized page -> (mode, home) entry may be
 #: stale: page faults and S-COMA (un)mappings change the mode, home
@@ -133,10 +153,12 @@ class Engine:
         #: contradiction that raises instead of silently picking one
         #: (precedence documented in docs/performance.md).
         env_slow = os.environ.get("REPRO_SLOW_PATH", "") not in ("", "0")
-        env_vector = os.environ.get("REPRO_VECTOR_PATH", "") not in ("", "0")
+        if vector_path is None:
+            mode = default_vector_mode()
+        else:
+            mode = "on" if vector_path else "off"
         slow = env_slow if slow_path is None else slow_path
-        vector = env_vector if vector_path is None else vector_path
-        if slow and vector:
+        if slow and mode == "on":
             if slow_path is not None and vector_path is not None:
                 raise ValueError(
                     "conflicting path selections: slow_path=True and"
@@ -147,11 +169,24 @@ class Engine:
                     " REPRO_VECTOR_PATH are both set")
             # Exactly one side was explicit: ctor beats env.
             if slow_path is not None:
-                vector = False
+                mode = "off"
             else:
                 slow = False
         self.slow_path = slow
-        self.vector_path = vector
+        #: Three-state vector dispatch.  ``"auto"`` (the default) runs
+        #: the SoA kernel whenever this engine is eligible and a kernel
+        #: can be loaded, degrading loss-free to the scalar fast path
+        #: otherwise; ``"on"`` is the explicit opt-in (ctor
+        #: vector_path=True / REPRO_VECTOR_PATH=1); ``"off"`` pins the
+        #: scalar loops (vector_path=False / REPRO_VECTOR_PATH=0).
+        #: ``"auto"`` never conflicts with the reference loop: an
+        #: explicit or env slow_path simply wins.
+        self.vector_mode = mode
+        #: True only when the kernel was *explicitly* selected -- the
+        #: historical boolean the selection tests and callers key on;
+        #: ``auto`` reports False here while still dispatching through
+        #: the kernel at run() time.
+        self.vector_path = mode == "on"
         #: Per-node page -> (mode, home) memo, invalidated through the
         #: event bus (_MEMO_INVALIDATORS).  Opt-in: subscribing the
         #: invalidation observer makes every page-management publish
@@ -197,7 +232,7 @@ class Engine:
     def run(self) -> RunResult:
         if self.slow_path:
             clock = self._run_reference()
-        elif self.vector_path:
+        elif self.vector_mode != "off":
             clock = self._run_vector()
         else:
             clock = self._run_fast()

@@ -75,16 +75,18 @@ class Machine:
         )
 
     # -- cross-node callbacks --------------------------------------------
-    def _invalidate_chunk(self, node_id: int, chunk: int) -> None:
+    def _invalidate_chunk(self, node_id: int, chunk: int,
+                          now: int | None = None) -> None:
         if node_id == self.config.debug_skip_invalidate_node:
             # Deliberate protocol bug used to exercise the invariant
             # checker (repro.check): the victim keeps a stale copy that
             # the directory no longer knows about.
             return
-        self.nodes[node_id].invalidate_chunk(chunk)
+        self.nodes[node_id].invalidate_chunk(chunk, now)
 
-    def _demote_chunk(self, node_id: int, chunk: int) -> None:
-        self.nodes[node_id].demote_chunk(chunk)
+    def _demote_chunk(self, node_id: int, chunk: int,
+                      now: int | None = None) -> None:
+        self.nodes[node_id].demote_chunk(chunk, now)
 
     # -- introspection ----------------------------------------------------
     def page_cache_frames(self) -> int:

@@ -92,8 +92,17 @@ class Node:
     # ------------------------------------------------------------------
     # Chunk-level coherence side effects (machine wires these in).
     # ------------------------------------------------------------------
-    def invalidate_chunk(self, chunk: int) -> None:
-        """Destroy this node's copy of *chunk* (remote write)."""
+    def invalidate_chunk(self, chunk: int, now: int | None = None) -> None:
+        """Destroy this node's copy of *chunk* (remote write).
+
+        *now* is the protocol-time of the invalidation.  It stamps the
+        event-bus clock only for kind-filtered subscribers: unfiltered
+        observers keep seeing the ambient clock the engine stamps at
+        rare-event entry points (the checker corpus pins those event
+        streams), while filtered telemetry -- and the vector kernel's
+        event-ring replay, which must be clock-identical to this path
+        -- gets the precise transition time.
+        """
         amap = self.amap
         for line in amap.lines_of_chunk(chunk):
             self.l1.invalidate_line(line)
@@ -106,15 +115,21 @@ class Node:
         page = amap.page_of_chunk(chunk)
         if self.page_table.mode_of(page) == PageMode.SCOMA:
             self.page_table.clear_chunk_valid(page, chunk % amap.chunks_per_page)
-        if self.events.observers:
-            self.events.publish(EV_INVALIDATE, self.id, page, chunk=chunk)
+        events = self.events
+        if events.watching(EV_INVALIDATE):
+            if now is not None and EV_INVALIDATE in events.kind_observers:
+                events.clock = now
+            events.publish(EV_INVALIDATE, self.id, page, chunk=chunk)
 
-    def demote_chunk(self, chunk: int) -> None:
+    def demote_chunk(self, chunk: int, now: int | None = None) -> None:
         """Lose write permission (a remote reader demoted our M copy)."""
         self.owned.discard(chunk)
-        if self.events.observers:
-            self.events.publish(EV_DEMOTE, self.id,
-                                self.amap.page_of_chunk(chunk), chunk=chunk)
+        events = self.events
+        if events.watching(EV_DEMOTE):
+            if now is not None and EV_DEMOTE in events.kind_observers:
+                events.clock = now
+            events.publish(EV_DEMOTE, self.id,
+                           self.amap.page_of_chunk(chunk), chunk=chunk)
 
     # ------------------------------------------------------------------
     # Page-management operations.
@@ -130,8 +145,12 @@ class Node:
         self.rac.flush_page(page, self.amap.lines_per_page if self.rac_victim
                             else self.amap.chunks_per_page)
         first = self.amap.first_chunk_of_page(page)
-        for chunk in range(first, first + self.amap.chunks_per_page):
-            self.owned.discard(chunk)
+        discard_range = getattr(self.owned, "discard_range", None)
+        if discard_range is not None:
+            discard_range(first, first + self.amap.chunks_per_page)
+        else:
+            for chunk in range(first, first + self.amap.chunks_per_page):
+                self.owned.discard(chunk)
         self.directory.drop_node_from_page(self.id, page)
         self.stats.lines_flushed += flushed
         if self.events.observers:

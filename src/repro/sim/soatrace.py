@@ -26,12 +26,21 @@ Implementation notes
   under ``$REPRO_VECTOR_CACHE`` (default ``~/.cache/repro/vector``)
   and loaded through :mod:`cffi` in ABI mode -- no ``Python.h``, no
   build-time dependency.  When cffi or a compiler is missing, or a
-  run shape is outside the kernel's model (associative L1, page memo,
-  unfiltered event-bus observers, a time-series sampler, a directory
-  message log, >62 nodes/chunks-per-page), :func:`run_vector` returns
-  ``None`` and the engine silently degrades to ``_run_fast`` -- the
-  same graceful-degradation contract the fast path's inlined cases
-  already follow.
+  run shape is outside the kernel's model (associative L1, a
+  time-series sampler, a directory message log, unfiltered event-bus
+  observers other than the engine's page-memo invalidator),
+  :func:`run_vector` returns ``None`` and the engine degrades
+  loss-free to ``_run_fast`` -- the same graceful-degradation contract
+  the fast path's inlined cases already follow (a single
+  ``RuntimeWarning`` flags environment problems such as a missing
+  compiler or a corrupt kernel cache; see :func:`_load_kernel`).
+  Copyset and S-COMA valid bitmaps are multi-word, so there is no
+  node-count or chunks-per-page ceiling; the page memo is carried
+  (the kernel never mutates page modes/homes); kind-filtered EventBus
+  subscribers are served by a bounded in-kernel event ring whose
+  entries are replayed post-slice with scalar-identical clocks and
+  order; and residual events (page faults, relocation hints) exit in
+  batched *runs* that Python drains before re-entering the kernel.
 * While the vectorized run is live, the machine's dict/set/list state
   is *replaced* by array-backed views (single source of truth): the
   scalar residual path and all post-run consumers (invariant audits,
@@ -52,23 +61,27 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import warnings
 
 import numpy as np
 
 from ..kernel.vm import PageMode
+from .events import EV_DEMOTE, EV_INVALIDATE
+from .trace import EV_WRITE
 
 __all__ = ["run_vector", "vector_available"]
 
 # ---------------------------------------------------------------------------
 # Kernel exit codes (keep in sync with the C source).
 _DONE = 0        # every node finished; deltas are ready to merge
-_RESIDUAL = 1    # event at ctl needs scalar Engine._shared_ref
+_RESIDUAL = 1    # run of events at ctl needs scalar Engine._shared_ref
 _DAEMON = 2      # pageout daemon due on ctl[BEST] at ctl[NOW]
 _BARRIER = 3     # every unfinished node is waiting; release in Python
 _DEADLOCK = 4    # unfinished nodes exist but none is runnable
+_RINGFULL = 5    # event ring lacks headroom; flush and re-enter
 
 # ctl[] slots (keep in sync with the C source).
-_IN_SLICE, _BEST, _LIMIT, _NOW, _LINE, _ISW = range(6)
+_IN_SLICE, _BEST, _LIMIT, _NOW, _RLEN, _RINGN = range(6)
 
 # params[] slots (keep in sync with the C enum).
 (_P_N, _P_QUANTUM, _P_NO_LIMIT, _P_LINE_SHIFT, _P_CHUNK_SHIFT, _P_CPP_MASK,
@@ -76,8 +89,9 @@ _IN_SLICE, _BEST, _LIMIT, _NOW, _LINE, _ISW = range(6)
  _P_DSM2, _P_GRANT_EX, _P_STALL_INV, _P_SKIP_NODE, _P_BANK_MASK,
  _P_MEM_SERVICE, _P_MEM_OCC, _P_MEM_MAXQ, _P_BUS_OCC, _P_BUS_FIXED,
  _P_BUS_MAXQ, _P_NET_OCC, _P_NET_MAXQ, _P_LPC, _P_N_PAGES, _P_N_SETS,
- _P_N_BANKS, _P_RAC_ENTRIES, _P_PC_SHIFT, _P_N_CHUNKS) = range(31)
-_N_PARAMS = 31
+ _P_N_BANKS, _P_RAC_ENTRIES, _P_PC_SHIFT, _P_N_CHUNKS, _P_CS_WORDS,
+ _P_SV_WORDS, _P_RING_INV, _P_RING_DEM, _P_RING_CAP) = range(36)
+_N_PARAMS = 36
 
 #: Per-node stats delta row: (slot, NodeStats attribute).  Commutative
 #: counters only -- nothing reads them mid-run, so the kernel
@@ -118,11 +132,11 @@ typedef struct {
     int64_t *rac;
     uint8_t *owned;
     uint8_t *ever;
-    int64_t *copyset;
+    uint64_t *copyset;
     int64_t *owner;
     int64_t *refetch;
     int64_t *modes;
-    int64_t *scoma_valid;
+    uint64_t *scoma_valid;
     int64_t *pc_hits;
     uint8_t *ref_bits;
     const int64_t *home;
@@ -136,6 +150,8 @@ typedef struct {
     int64_t *st;
     int64_t *aux;
     int64_t *glob;
+    uint64_t *inv_scratch;
+    int64_t *ring;
 } SoaState;
 """
 
@@ -159,7 +175,8 @@ enum { P_N, P_QUANTUM, P_NO_LIMIT, P_LINE_SHIFT, P_CHUNK_SHIFT, P_CPP_MASK,
        P_DSM2, P_GRANT_EX, P_STALL_INV, P_SKIP_NODE, P_BANK_MASK,
        P_MEM_SERVICE, P_MEM_OCC, P_MEM_MAXQ, P_BUS_OCC, P_BUS_FIXED,
        P_BUS_MAXQ, P_NET_OCC, P_NET_MAXQ, P_LPC, P_N_PAGES, P_N_SETS,
-       P_N_BANKS, P_RAC_ENTRIES, P_PC_SHIFT, P_N_CHUNKS };
+       P_N_BANKS, P_RAC_ENTRIES, P_PC_SHIFT, P_N_CHUNKS, P_CS_WORDS,
+       P_SV_WORDS, P_RING_INV, P_RING_DEM, P_RING_CAP };
 
 enum { S_USH, S_UINSTR, S_ULC, S_HOME, S_SCOMA, S_RAC, S_COLD, S_CONF,
        S_HOME_LAT, S_SCOMA_LAT, S_RAC_LAT, S_COLD_LAT, S_CONF_LAT,
@@ -171,9 +188,21 @@ enum { A_WB, A_INVAL, A_RAC_HITS, A_RAC_MISSES, A_RAC_FILLS, A_MEM_ACC,
 enum { G_NET_MSGS, G_NET_CONT, G_NET_Q, G_DIR_REFETCH, G_DIR_FWD,
        G_DIR_INV, G_DIR_EXCL, G_REMOTE, G_THREE_HOP, G_STALLS, N_GLOB };
 
-enum { C_IN_SLICE, C_BEST, C_LIMIT, C_NOW, C_LINE, C_ISW };
+enum { C_IN_SLICE, C_BEST, C_LIMIT, C_NOW, C_RLEN, C_RING };
 
-enum { RC_DONE, RC_RESIDUAL, RC_DAEMON, RC_BARRIER, RC_DEADLOCK };
+enum { RC_DONE, RC_RESIDUAL, RC_DAEMON, RC_BARRIER, RC_DEADLOCK, RC_RING };
+
+/* Bounded event ring: rare coherence transitions the kernel performs
+ * itself (chunk invalidations, owner demotions) are recorded here when
+ * a kind-filtered EventBus subscriber watches them, and replayed by the
+ * Python driver at the next kernel exit -- identical events, identical
+ * clocks, identical order to what the scalar loops publish. */
+static void ring_push(SoaState *s, int64_t kind, int64_t node,
+                      int64_t chunk, int64_t clk) {
+    int64_t *e = &s->ring[s->ctl[C_RING] * 4];
+    e[0] = kind; e[1] = node; e[2] = chunk; e[3] = clk;
+    s->ctl[C_RING]++;
+}
 
 /* Network.one_way: same-node messages are free and uncounted. */
 static int64_t one_way(SoaState *s, int64_t src, int64_t dst, int64_t now) {
@@ -231,10 +260,13 @@ static void rac_fill(SoaState *s, int64_t node, int64_t key) {
     s->aux[node * N_AUX + A_RAC_FILLS]++;
 }
 
-/* Machine._invalidate_chunk + Node.invalidate_chunk (publishes are
- * observer-guarded in Python and observers are empty under
- * eligibility, so there is nothing to publish here). */
-static void invalidate_chunk_at(SoaState *s, int64_t node, int64_t chunk) {
+/* Machine._invalidate_chunk + Node.invalidate_chunk.  The publish is
+ * deferred through the event ring when a kind-filtered subscriber
+ * watches EV_INVALIDATE; unfiltered observers (beyond the engine's own
+ * page-memo invalidator, which ignores this kind) disqualify the run
+ * before the kernel starts. */
+static void invalidate_chunk_at(SoaState *s, int64_t node, int64_t chunk,
+                                int64_t now) {
     if (node == s->P[P_SKIP_NODE]) return;
     int64_t lpc = s->P[P_LPC];
     int64_t first = chunk * lpc;
@@ -257,28 +289,37 @@ static void invalidate_chunk_at(SoaState *s, int64_t node, int64_t chunk) {
     }
     s->owned[node * s->P[P_N_CHUNKS] + chunk] = 0;
     int64_t pidx = node * s->P[P_N_PAGES] + (chunk >> s->P[P_PC_SHIFT]);
-    if (s->modes[pidx] == 2)   /* PageMode.SCOMA */
-        s->scoma_valid[pidx] &= ~((int64_t)1 << (chunk & s->P[P_CPP_MASK]));
+    if (s->modes[pidx] == 2) {   /* PageMode.SCOMA */
+        int64_t cip = chunk & s->P[P_CPP_MASK];
+        s->scoma_valid[pidx * s->P[P_SV_WORDS] + (cip >> 6)]
+            &= ~((uint64_t)1 << (cip & 63));
+    }
+    if (s->P[P_RING_INV]) ring_push(s, 0, node, chunk, now);
 }
 
 /* CoherenceProtocol._invalidate_all: invalidate each sharer in
  * ascending id order, all round trips issued at the same `now` (port
- * state still accumulates); one write stall per call. */
-static int64_t invalidate_all(SoaState *s, int64_t mask, int64_t chunk,
+ * state still accumulates); one write stall per call.  The sharer set
+ * is the multi-word mask fetch_raw left in inv_scratch. */
+static int64_t invalidate_all(SoaState *s, int64_t chunk,
                               int64_t origin, int64_t now) {
     int64_t worst = 0;
-    for (int64_t sh = 0; sh < s->P[P_N]; sh++) {
-        if (!((mask >> sh) & 1)) continue;
-        invalidate_chunk_at(s, sh, chunk);
-        int64_t rt = round_trip(s, origin, sh, now);
-        if (rt > worst) worst = rt;
+    for (int64_t w = 0; w < s->P[P_CS_WORDS]; w++) {
+        uint64_t m = s->inv_scratch[w];
+        while (m) {
+            int64_t sh = (w << 6) + __builtin_ctzll(m);
+            m &= m - 1;
+            invalidate_chunk_at(s, sh, chunk, now);
+            int64_t rt = round_trip(s, origin, sh, now);
+            if (rt > worst) worst = rt;
+        }
     }
     s->glob[G_STALLS]++;
     return s->P[P_STALL_INV] ? worst : 0;
 }
 
 typedef struct {
-    int64_t refetch, forwarded, inv_mask, prev_owner, exclusive;
+    int64_t refetch, forwarded, has_inv, prev_owner, exclusive;
 } DirOut;
 
 /* Directory.fetch_raw.  The relocation-hint branch is unreachable
@@ -289,9 +330,11 @@ static DirOut fetch_raw(SoaState *s, int64_t node, int64_t chunk,
                         int64_t page, int64_t is_write, int64_t threshold,
                         int64_t count_refetch) {
     DirOut o = {0, 0, 0, -1, 0};
-    int64_t bit = (int64_t)1 << node;
-    int64_t cs = s->copyset[chunk];
-    o.refetch = (cs & bit) != 0;
+    int64_t W = s->P[P_CS_WORDS];
+    uint64_t *cs = &s->copyset[chunk * W];
+    int64_t bw = node >> 6;
+    uint64_t bit = (uint64_t)1 << (node & 63);
+    o.refetch = (cs[bw] & bit) != 0;
     int64_t owner = s->owner[chunk];
     if (owner != -1 && owner != node) {
         o.forwarded = 1;
@@ -299,18 +342,27 @@ static DirOut fetch_raw(SoaState *s, int64_t node, int64_t chunk,
         s->owner[chunk] = -1;
     }
     if (is_write) {
-        int64_t others = cs & ~bit;
-        if (others) {
-            o.inv_mask = others;
-            s->glob[G_DIR_INV] += __builtin_popcountll((uint64_t)others);
+        int64_t inv = 0;
+        for (int64_t w = 0; w < W; w++) {
+            uint64_t others = cs[w];
+            if (w == bw) others &= ~bit;
+            s->inv_scratch[w] = others;
+            inv += __builtin_popcountll(others);
+            cs[w] = 0;
         }
-        s->copyset[chunk] = bit;
+        cs[bw] = bit;
         s->owner[chunk] = node;
+        if (inv) {
+            o.has_inv = 1;
+            s->glob[G_DIR_INV] += inv;
+        }
     } else {
-        s->copyset[chunk] = cs | bit;
+        uint64_t any = 0;
+        for (int64_t w = 0; w < W; w++) any |= cs[w];
+        cs[bw] |= bit;
         if (owner == node) {
             /* still the owner */
-        } else if (s->P[P_GRANT_EX] && cs == 0) {
+        } else if (s->P[P_GRANT_EX] && any == 0) {
             s->owner[chunk] = node;
             o.exclusive = 1;
         }
@@ -334,12 +386,15 @@ static int64_t remote_after_dir(SoaState *s, DirOut *o, int64_t node,
     if (o->forwarded) {
         s->glob[G_THREE_HOP]++;
         lat += one_way(s, home, node, now + lat);
-        if (!is_write && o->prev_owner >= 0)
+        if (!is_write && o->prev_owner >= 0) {
             s->owned[o->prev_owner * s->P[P_N_CHUNKS] + chunk] = 0;
+            if (s->P[P_RING_DEM])
+                ring_push(s, 1, o->prev_owner, chunk, now + lat);
+        }
     }
     lat += one_way(s, home, node, now + lat);
-    if (o->inv_mask)
-        lat += invalidate_all(s, o->inv_mask, chunk, home, now + lat);
+    if (o->has_inv)
+        lat += invalidate_all(s, chunk, home, now + lat);
     s->glob[G_REMOTE]++;
     return lat;
 }
@@ -354,11 +409,14 @@ static int64_t local_after_dir(SoaState *s, DirOut *o, int64_t node,
         int64_t owner = o->prev_owner >= 0 ? o->prev_owner
                                            : (node + 1) % s->P[P_N];
         lat += round_trip(s, node, owner, now + lat);
-        if (!is_write && o->prev_owner >= 0)
+        if (!is_write && o->prev_owner >= 0) {
             s->owned[o->prev_owner * s->P[P_N_CHUNKS] + chunk] = 0;
+            if (s->P[P_RING_DEM])
+                ring_push(s, 1, o->prev_owner, chunk, now + lat);
+        }
     }
-    if (o->inv_mask)
-        lat += invalidate_all(s, o->inv_mask, chunk, node, now + lat);
+    if (o->has_inv)
+        lat += invalidate_all(s, chunk, node, now + lat);
     return lat;
 }
 
@@ -367,8 +425,8 @@ static int64_t upgrade(SoaState *s, int64_t node, int64_t chunk,
                        int64_t page, int64_t home, int64_t now) {
     DirOut o = fetch_raw(s, node, chunk, page, 1, 0, 0);
     int64_t lat = (home == node) ? 0 : round_trip(s, node, home, now);
-    if (o.inv_mask)
-        lat += invalidate_all(s, o.inv_mask, chunk, home, now + lat);
+    if (o.has_inv)
+        lat += invalidate_all(s, chunk, home, now + lat);
     return lat;
 }
 
@@ -459,7 +517,9 @@ static int64_t shared_ref(SoaState *s, int64_t nid, int64_t line,
         if (s->rac[nid * s->P[P_RAC_ENTRIES]
                    + (key & s->P[P_RAC_MASK])] != key) {
             int64_t thr = s->thr[nid];
-            if (thr > 0 && ((s->copyset[chunk] >> nid) & 1)
+            if (thr > 0
+                && ((s->copyset[chunk * s->P[P_CS_WORDS] + (nid >> 6)]
+                     >> (nid & 63)) & 1)
                 && s->refetch[page * s->P[P_N] + nid] + 1 >= thr)
                 return -1;                          /* relocation hint */
         }
@@ -477,7 +537,8 @@ static int64_t shared_ref(SoaState *s, int64_t nid, int64_t line,
         if (is_write || o.exclusive) *ownedp = 1;
     } else if (mode == 2) {                         /* SCOMA */
         int64_t cip = chunk & s->P[P_CPP_MASK];
-        if ((s->scoma_valid[pidx] >> cip) & 1) {
+        uint64_t *sv = &s->scoma_valid[pidx * s->P[P_SV_WORDS]];
+        if ((sv[cip >> 6] >> (cip & 63)) & 1) {
             lat += mem_access(s, nid, chunk, now + lat);
             st[S_SCOMA]++;
             s->pc_hits[pidx]++;
@@ -492,7 +553,7 @@ static int64_t shared_ref(SoaState *s, int64_t nid, int64_t line,
             int64_t fl = remote_after_dir(s, &o, nid, chunk, home,
                                           is_write, now + lat);
             lat += s->P[P_DSM2] + fl;
-            s->scoma_valid[pidx] |= (int64_t)1 << cip;
+            sv[cip >> 6] |= (uint64_t)1 << (cip & 63);
             classify(s, nid, chunk, o.refetch, lat);
             if (is_write || o.exclusive) *ownedp = 1;
         }
@@ -527,12 +588,47 @@ static int64_t shared_ref(SoaState *s, int64_t nid, int64_t line,
     return lat;
 }
 
+/* Pre-mutation mirror of shared_ref's residual decision: would this
+ * reference exit to the scalar path *against current state*?  Used to
+ * batch runs of consecutive residual events (fault storms, relocation
+ * bursts) into one kernel exit.  Predictions that turn false while
+ * Python drains the run are harmless: Engine._shared_ref handles every
+ * shared reference bit-identically, residual or not. */
+static int is_residual(SoaState *s, int64_t nid, int64_t line) {
+    if (s->l1_tags[nid * s->P[P_N_SETS] + (line & s->P[P_SET_MASK])] == line)
+        return 0;                                   /* L1 hit */
+    int64_t page = line >> s->P[P_LINE_SHIFT];
+    int64_t pidx = nid * s->P[P_N_PAGES] + page;
+    int64_t mode = s->modes[pidx];
+    if (mode == 0) return 1;                        /* page fault */
+    if (mode == 3) {                                /* CCNUMA */
+        int64_t chunk = line >> s->P[P_CHUNK_SHIFT];
+        int64_t key = s->P[P_RAC_VICTIM] ? line : chunk;
+        if (s->rac[nid * s->P[P_RAC_ENTRIES]
+                   + (key & s->P[P_RAC_MASK])] != key) {
+            int64_t thr = s->thr[nid];
+            if (thr > 0
+                && ((s->copyset[chunk * s->P[P_CS_WORDS] + (nid >> 6)]
+                     >> (nid & 63)) & 1)
+                && s->refetch[page * s->P[P_N] + nid] + 1 >= thr)
+                return 1;                           /* relocation hint */
+        }
+    }
+    return 0;
+}
+
 /* The fast loop's scheduler + slice runner.  Exits to Python only for
- * page faults / relocation hints (RC_RESIDUAL), a due pageout daemon
- * (RC_DAEMON), a full barrier (RC_BARRIER), deadlock, or completion;
- * ctl[] carries the resume point across RC_RESIDUAL / RC_DAEMON. */
+ * runs of page faults / relocation hints (RC_RESIDUAL, run length in
+ * ctl[C_RLEN]), a due pageout daemon (RC_DAEMON), a full barrier
+ * (RC_BARRIER), a full event ring (RC_RING), deadlock, or completion;
+ * ctl[] carries the resume point across RC_RESIDUAL / RC_DAEMON /
+ * RC_RING. */
 int64_t soa_run(SoaState *s) {
     const int64_t n = s->P[P_N];
+    /* Worst-case ring entries one shared reference can record: one
+     * demotion plus n-1 invalidations; exit to flush below that. */
+    const int64_t ring_room = (s->P[P_RING_INV] || s->P[P_RING_DEM])
+                              ? n + 2 : 0;
     int64_t best, limit, now;
     if (s->ctl[C_IN_SLICE]) {
         best = s->ctl[C_BEST];
@@ -588,28 +684,48 @@ int64_t soa_run(SoaState *s) {
             while (p < e && now < limit) {
                 uint8_t ev = kinds[p];
                 int64_t arg = args[p];
-                p++;
                 if (ev <= EV_WRITE) {
-                    int64_t r = shared_ref(s, best, arg,
-                                           ev == EV_WRITE, now);
-                    if (r < 0) {
+                    if (ring_room
+                        && s->P[P_RING_CAP] - s->ctl[C_RING] < ring_room) {
                         s->pos[best] = p;
                         s->ctl[C_IN_SLICE] = 1;
                         s->ctl[C_BEST] = best;
                         s->ctl[C_LIMIT] = limit;
                         s->ctl[C_NOW] = now;
-                        s->ctl[C_LINE] = arg;
-                        s->ctl[C_ISW] = (ev == EV_WRITE);
+                        return RC_RING;
+                    }
+                    int64_t r = shared_ref(s, best, arg,
+                                           ev == EV_WRITE, now);
+                    if (r < 0) {
+                        /* Batch the exit: scan ahead for consecutive
+                         * shared refs that are also residual against
+                         * current state (bounded look-ahead).  Python
+                         * drains the whole run before re-entering. */
+                        int64_t scan = p + 1;
+                        while (scan < e && scan - p < 64
+                               && kinds[scan] <= EV_WRITE
+                               && is_residual(s, best, args[scan]))
+                            scan++;
+                        s->pos[best] = p;
+                        s->ctl[C_IN_SLICE] = 1;
+                        s->ctl[C_BEST] = best;
+                        s->ctl[C_LIMIT] = limit;
+                        s->ctl[C_NOW] = now;
+                        s->ctl[C_RLEN] = scan - p;
                         return RC_RESIDUAL;
                     }
                     now += r;
+                    p++;
                 } else if (ev == EV_COMPUTE) {
                     s->st[best * N_STATS + S_UINSTR] += arg;
                     now += arg;
+                    p++;
                 } else if (ev == EV_LOCAL) {
                     s->st[best * N_STATS + S_ULC] += arg;
                     now += arg;
+                    p++;
                 } else {                             /* EV_BARRIER */
+                    p++;
                     s->waiting[best] = 1;
                     s->barrier_id[best] = arg;
                     s->arrival[best] = now;
@@ -684,6 +800,26 @@ def _build_library() -> str | None:
         return None
 
 
+def _fail(reason: str):
+    """Memoize unavailability and warn exactly once per process.
+
+    cffi being absent stays *silent* (it is a genuinely optional
+    dependency); everything past that point -- no compiler, a failed
+    build, an unwritable ``$REPRO_VECTOR_CACHE``, a corrupted cached
+    ``.so`` that will not rebuild -- warns, because the user has the
+    pieces for the vector kernel and is losing it to an environment
+    problem.  Results are unaffected either way: the engine degrades
+    loss-free to the scalar fast path.
+    """
+    global _KERNEL
+    _KERNEL = False
+    warnings.warn(
+        f"vector kernel unavailable ({reason}); falling back to the scalar"
+        " fast path (results are identical, replay is slower)",
+        RuntimeWarning, stacklevel=4)
+    return None
+
+
 def _load_kernel():
     """Lazily compile + dlopen the kernel; memoized process-wide."""
     global _KERNEL
@@ -696,17 +832,31 @@ def _load_kernel():
         return None
     try:
         so_path = _build_library()
-        if so_path is None:
-            _KERNEL = False
-            return None
-        ffi = cffi.FFI()
-        ffi.cdef(_CDEF)
+    except Exception as exc:  # unexpected build-machinery failure
+        return _fail(f"kernel build error: {exc}")
+    if so_path is None:
+        return _fail("no C compiler found or compilation failed")
+    ffi = cffi.FFI()
+    ffi.cdef(_CDEF)
+    try:
         lib = ffi.dlopen(so_path)
-        _KERNEL = (ffi, lib)
-        return _KERNEL
-    except Exception:
-        _KERNEL = False
-        return None
+    except OSError:
+        # A corrupted or stale cached .so (truncated write, wrong arch,
+        # bit rot): discard it and rebuild once from source.
+        try:
+            os.unlink(so_path)
+        except OSError:
+            pass
+        try:
+            so_path = _build_library()
+            if so_path is None:
+                return _fail("cached kernel was corrupt and the rebuild"
+                             " failed")
+            lib = ffi.dlopen(so_path)
+        except Exception as exc:
+            return _fail(f"cached kernel was corrupt: {exc}")
+    _KERNEL = (ffi, lib)
+    return _KERNEL
 
 
 def vector_available() -> bool:
@@ -725,8 +875,31 @@ def vector_available() -> bool:
 # would change the JSON bytes the store hashes).
 
 
+_WORD = 0xFFFFFFFFFFFFFFFF
+
+
+def _join_words(row) -> int:
+    """Little-endian uint64 words -> one arbitrary-precision Python int."""
+    v = 0
+    for w in range(len(row) - 1, -1, -1):
+        v = (v << 64) | int(row[w])
+    return v
+
+
+def _split_words(value: int, row) -> None:
+    """One Python int -> little-endian uint64 words (row pre-zeroed not
+    required; every word is written)."""
+    for w in range(len(row)):
+        row[w] = value & _WORD
+        value >>= 64
+
+
 class _MaskDict:
     """Directory.copyset: chunk -> sharer bitmask; 0 means absent.
+
+    Backed by a 2-D ``(n_chunks, words)`` uint64 array so >62-node
+    machines fit; the view joins/splits the multi-word rows into the
+    arbitrary-precision Python ints the scalar directory code uses.
 
     The real dict can briefly hold an explicit 0 (drop_node_from_page
     stores ``cs & clear``), but every consumer reads through ``.get``
@@ -740,38 +913,39 @@ class _MaskDict:
         self._a = a
 
     def get(self, key, default=None):
-        v = self._a[key]
-        return int(v) if v else default
+        v = _join_words(self._a[key])
+        return v if v else default
 
     def __getitem__(self, key):
-        v = self._a[key]
+        v = _join_words(self._a[key])
         if not v:
             raise KeyError(key)
-        return int(v)
+        return v
 
     def __setitem__(self, key, value):
-        self._a[key] = value
+        _split_words(int(value), self._a[key])
 
     def __contains__(self, key):
-        return bool(self._a[key])
+        return bool(self._a[key].any())
 
     def __len__(self):
-        return int(np.count_nonzero(self._a))
+        return int(np.count_nonzero(self._a.any(axis=1)))
 
     def __iter__(self):
-        return iter(np.flatnonzero(self._a).tolist())
+        return iter(np.flatnonzero(self._a.any(axis=1)).tolist())
 
     def items(self):
         a = self._a
-        return [(k, int(a[k])) for k in np.flatnonzero(a).tolist()]
+        return [(k, _join_words(a[k]))
+                for k in np.flatnonzero(a.any(axis=1)).tolist()]
 
     def keys(self):
         return list(self)
 
     def pop(self, key, default=None):
-        v = self._a[key]
+        v = _join_words(self._a[key])
         self._a[key] = 0
-        return int(v) if v else default
+        return v if v else default
 
     def clear(self):
         self._a[:] = 0
@@ -779,7 +953,24 @@ class _MaskDict:
     def update(self, other=()):
         items = other.items() if hasattr(other, "items") else other
         for k, v in items:
-            self._a[k] = v
+            _split_words(int(v), self._a[k])
+
+    def drop_node_bulk(self, owner, node, first, count):
+        """Directory.drop_node_from_page over the backing arrays.
+
+        One numpy sweep instead of ``count`` get/set round-trips
+        through the arbitrary-precision join/split; observationally
+        identical to the scalar loop (0-as-absent, owner entry dropped
+        only where the node was actually a sharer and the owner)."""
+        bit = np.uint64(1 << (node & 63))
+        col = self._a[first:first + count, node >> 6]
+        hit = (col & bit) != 0
+        dropped = int(np.count_nonzero(hit))
+        if dropped:
+            col[hit] &= ~bit
+            oa = owner._a[first:first + count]
+            oa[hit & (oa == node)] = -1
+        return dropped
 
 
 class _OwnerDict:
@@ -949,16 +1140,16 @@ class _ScomaValidDict:
     def get(self, key, default=None):
         if self._m[key] != 2:
             return self._x.get(key, default)
-        return int(self._a[key])
+        return _join_words(self._a[key])
 
     def __getitem__(self, key):
         if self._m[key] != 2:
             return self._x[key]
-        return int(self._a[key])
+        return _join_words(self._a[key])
 
     def __setitem__(self, key, value):
         if self._m[key] == 2:
-            self._a[key] = value
+            _split_words(int(value), self._a[key])
             self._x.pop(key, None)
         else:
             self._x[key] = value
@@ -983,7 +1174,7 @@ class _ScomaValidDict:
 
     def items(self):
         a = self._a
-        out = [(k, int(a[k]))
+        out = [(k, _join_words(a[k]))
                for k in np.flatnonzero(self._m == 2).tolist()]
         out.extend(self._x.items())
         return out
@@ -1088,6 +1279,10 @@ class _ChunkSet:
     def discard(self, key):
         self._a[key] = 0
 
+    def discard_range(self, start, stop):
+        """Bulk discard of a contiguous key range (page flush)."""
+        self._a[start:stop] = 0
+
     def __contains__(self, key):
         return bool(self._a[key])
 
@@ -1117,6 +1312,35 @@ class _IntList:
 
     def __iter__(self):
         return iter(self._a.tolist())
+
+    def flush_page_bulk(self, dirty, first, span, mask, line_shift, page):
+        """Cache.flush_page over the backing arrays.
+
+        A page's lines land in ``span`` consecutive sets; with the
+        power-of-two geometry the span never wraps, so the sweep is a
+        contiguous slice compare + masked clear (the wrap fallback
+        gathers through an index array).  Bit-identical to the scalar
+        per-set loop."""
+        a = self._a
+        s0 = first & mask
+        if s0 + span <= len(a):
+            seg = a[s0:s0 + span]
+            dseg = dirty._a[s0:s0 + span]
+        else:  # pragma: no cover - non-power-of-two geometry only
+            idx = (first + np.arange(span)) & mask
+            seg = a[idx]
+            dseg = None
+        hit = (seg != -1) & ((seg >> line_shift) == page)
+        flushed = int(np.count_nonzero(hit))
+        if flushed:
+            if dseg is None:  # pragma: no cover - wrap fallback
+                sel = idx[hit]
+                a[sel] = -1
+                dirty._a[sel] = 0
+            else:
+                seg[hit] = -1
+                dseg[hit] = 0
+        return flushed
 
 
 class _BoolList:
@@ -1185,28 +1409,36 @@ class _HomeDict:
 def _eligible(engine) -> bool:
     """Cheap pre-flight: is this run inside the kernel's model?
 
-    Mirrors the fast path's own degradation rule: anything that wants
-    to observe intermediate state (unfiltered event-bus observers --
-    which is how the invariant checker attaches -- a directory message
-    log, a time-series sampler, the page memo) or a shape the dense
-    arrays cannot carry (associative L1, >62 nodes or chunks-per-page,
-    out-of-range reference args) falls back to ``_run_fast``.
+    Anything that truly needs to observe *every* intermediate state
+    transition (unfiltered event-bus observers beyond the engine's own
+    page-memo invalidator -- which is how the invariant checker
+    attaches -- a directory message log, a time-series sampler) or a
+    shape the dense arrays cannot carry (associative L1, out-of-range
+    reference args) falls back to ``_run_fast``.
+
+    Shapes that used to disqualify a run but no longer do:
+
+    * **>62 nodes / chunks-per-page** -- copyset and S-COMA valid
+      bitmaps are multi-word ``uint64`` rows now;
+    * **the page memo** -- the kernel never mutates page modes or
+      homes (faults, evictions, relocations and migrations all exit to
+      Python pre-mutation), so the memo and its unfiltered invalidator
+      observer stay exact across kernel slices;
+    * **kind-filtered observers** (``repro.obs`` backoff telemetry) --
+      run-structure kinds publish at Python exits exactly as before,
+      and in-kernel invalidations/demotions are replayed post-slice
+      through the bounded event ring.
     """
     machine = engine.machine
     if not engine._l1_direct:
-        return False
-    if engine._memo is not None:
         return False
     if engine.sampler is not None:
         return False
     if machine.directory.log is not None:
         return False
-    if machine.events.observers:
-        return False
-    amap = machine.amap
-    n = engine.config.n_nodes
-    if n > 62 or amap.chunks_per_page > 62:
-        return False
+    for ob in machine.events.observers:
+        if ob != engine._invalidate_memo:
+            return False
     _, _, _, _, ref_lo, ref_hi = engine.workload.soa()
     if ref_hi >= 0:
         n_pages = engine.workload.total_shared_pages
@@ -1291,9 +1523,13 @@ def run_vector(engine) -> list[int] | None:
     kinds_all, args_all, tr_off, tr_len, _, _ = engine.workload.soa()
 
     # --- dense state arrays, built from the live containers ----------
-    copyset = np.zeros(max(n_chunks, 1), dtype=np.int64)
+    # Copyset / S-COMA valid bitmaps are multi-word uint64 rows so the
+    # kernel model has no node-count or chunks-per-page ceiling.
+    cs_words = (n + 63) // 64
+    sv_words = (cpp + 63) // 64
+    copyset = np.zeros((max(n_chunks, 1), cs_words), dtype=np.uint64)
     for k, v in directory.copyset.items():
-        copyset[k] = v
+        _split_words(int(v), copyset[k])
     owner = np.full(max(n_chunks, 1), -1, dtype=np.int64)
     for k, v in directory.owner.items():
         owner[k] = v
@@ -1304,7 +1540,7 @@ def run_vector(engine) -> list[int] | None:
     for pg, v in allocator.home.items():
         home[pg] = v
     modes = np.zeros((n, max(n_pages, 1)), dtype=np.int64)
-    scoma_valid = np.zeros((n, max(n_pages, 1)), dtype=np.int64)
+    scoma_valid = np.zeros((n, max(n_pages, 1), sv_words), dtype=np.uint64)
     pc_hits = np.full((n, max(n_pages, 1)), -1, dtype=np.int64)
     ref_bits = np.zeros((n, max(n_pages, 1)), dtype=np.uint8)
     owned = np.zeros((n, max(n_chunks, 1)), dtype=np.uint8)
@@ -1317,7 +1553,7 @@ def run_vector(engine) -> list[int] | None:
         for pg, m in pt.mode.items():
             modes[i, pg] = int(m)
         for pg, mask in pt.scoma_valid.items():
-            scoma_valid[i, pg] = mask
+            _split_words(int(mask), scoma_valid[i, pg])
         for pg, hits in node.pagecache_hits.items():
             pc_hits[i, pg] = hits
         for pg, bit in node.tlb.ref_bits.items() if hasattr(
@@ -1339,6 +1575,18 @@ def run_vector(engine) -> list[int] | None:
     finished = np.array([tr_len[i] == 0 for i in range(n)], dtype=np.uint8)
     waiting = np.zeros(n, dtype=np.uint8)
     ctl = np.zeros(8, dtype=np.int64)
+
+    # --- event ring + invalidation scratch ---------------------------
+    # The ring records in-kernel invalidations/demotions only when a
+    # kind-filtered subscriber actually watches that kind; an
+    # unfiltered observer other than the page-memo invalidator already
+    # failed eligibility, and the memo invalidator ignores both kinds.
+    events = machine.events
+    ring_inv = EV_INVALIDATE in events.kind_observers
+    ring_dem = EV_DEMOTE in events.kind_observers
+    ring_cap = max(1024, 2 * n + 4)
+    ring = np.zeros((ring_cap, 4), dtype=np.int64)
+    inv_scratch = np.zeros(cs_words, dtype=np.uint64)
 
     # --- timing state (copied in/out at every kernel boundary) -------
     net_port = np.zeros(n, dtype=np.int64)
@@ -1386,6 +1634,11 @@ def run_vector(engine) -> list[int] | None:
     params[_P_RAC_ENTRIES] = rac_entries
     params[_P_PC_SHIFT] = engine._line_shift - engine._chunk_shift
     params[_P_N_CHUNKS] = max(n_chunks, 1)
+    params[_P_CS_WORDS] = cs_words
+    params[_P_SV_WORDS] = sv_words
+    params[_P_RING_INV] = 1 if ring_inv else 0
+    params[_P_RING_DEM] = 1 if ring_dem else 0
+    params[_P_RING_CAP] = ring_cap
 
     # --- install the views: arrays become the single source of truth -
     directory.copyset = _MaskDict(copyset)
@@ -1431,11 +1684,11 @@ def run_vector(engine) -> list[int] | None:
     state.rac = _ptr(rac_arr, "int64_t *")
     state.owned = _ptr(owned, "uint8_t *")
     state.ever = _ptr(ever, "uint8_t *")
-    state.copyset = _ptr(copyset, "int64_t *")
+    state.copyset = _ptr(copyset, "uint64_t *")
     state.owner = _ptr(owner, "int64_t *")
     state.refetch = _ptr(refetch, "int64_t *")
     state.modes = _ptr(modes, "int64_t *")
-    state.scoma_valid = _ptr(scoma_valid, "int64_t *")
+    state.scoma_valid = _ptr(scoma_valid, "uint64_t *")
     state.pc_hits = _ptr(pc_hits, "int64_t *")
     state.ref_bits = _ptr(ref_bits, "uint8_t *")
     state.home = _ptr(home, "int64_t *")
@@ -1449,6 +1702,8 @@ def run_vector(engine) -> list[int] | None:
     state.st = _ptr(st, "int64_t *")
     state.aux = _ptr(aux, "int64_t *")
     state.glob = _ptr(glob, "int64_t *")
+    state.inv_scratch = _ptr(inv_scratch, "uint64_t *")
+    state.ring = _ptr(ring, "int64_t *")
 
     buses = machine.buses
 
@@ -1469,17 +1724,56 @@ def run_vector(engine) -> list[int] | None:
             buses[i].busy_until = int(bus_busy[i])
         network.port_busy_until[:] = net_port.tolist()
 
+    pc_shift = int(params[_P_PC_SHIFT])
+
+    def _flush_ring():
+        """Replay ring-deferred invalidate/demote events to the bus.
+
+        Runs before any other Python-side work at every kernel exit, so
+        the publish order (and the per-event clock stamp, which mirrors
+        the scalar kind-filtered stamping rule) matches the scalar
+        loops exactly.
+        """
+        count = int(ctl[_RINGN])
+        if not count:
+            return
+        for j in range(count):
+            kind, nd, ch, clk = ring[j].tolist()
+            events.clock = clk
+            events.publish(EV_INVALIDATE if kind == 0 else EV_DEMOTE,
+                           nd, ch >> pc_shift, chunk=ch)
+        ctl[_RINGN] = 0
+
     # --- drive the kernel --------------------------------------------
     while True:
         _timing_in()
         rc = int(lib.soa_run(state))
         _timing_out()
+        _flush_ring()
         if rc == _RESIDUAL:
+            # Drain the whole run of residual events the kernel
+            # batched up (page-fault storms, relocation bursts).  The
+            # first event was already admitted by the kernel's limit
+            # check; each later one re-checks the slice limit, exactly
+            # like the scalar loop's `while now < limit` would.
             best = int(ctl[_BEST])
             now = int(ctl[_NOW])
-            now += engine._shared_ref(nodes[best], int(ctl[_LINE]),
-                                      bool(ctl[_ISW]), now)
+            limit = int(ctl[_LIMIT])
+            run = int(ctl[_RLEN])
+            p = int(pos[best])
+            off = int(tr_off[best])
+            node = nodes[best]
+            shared_ref = engine._shared_ref
+            for j in range(run):
+                if j and now >= limit:
+                    break
+                now += shared_ref(node, int(args_all[off + p]),
+                                  int(kinds_all[off + p]) == EV_WRITE, now)
+                p += 1
+            pos[best] = p
             ctl[_NOW] = now
+        elif rc == _RINGFULL:
+            pass  # flushed above; re-enter with a drained ring
         elif rc == _DAEMON:
             nodes[int(ctl[_BEST])].run_daemon_if_due(int(ctl[_NOW]))
         elif rc == _BARRIER:

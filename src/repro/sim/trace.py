@@ -194,6 +194,24 @@ class TraceBuilder:
         self._kinds.extend(np.where(writes, EV_WRITE, EV_READ).tolist())
         self._args.extend(np.asarray(lines, dtype=np.int64).tolist())
 
+    def extend_events(self, kinds, args) -> None:
+        """Bulk-append pre-encoded ``(kind, arg)`` pairs.
+
+        Accepts numpy arrays or plain sequences; multi-dimensional
+        arrays are flattened in C order.  This is the public bulk API
+        for vectorised emitters that assemble whole event blocks
+        (e.g. ``workloads.base.emit_visits``) -- they must not reach
+        into the private ``_kinds``/``_args`` lists.
+        """
+        kinds = np.asarray(kinds, dtype=np.uint8).ravel()
+        args = np.asarray(args, dtype=np.int64).ravel()
+        if kinds.shape != args.shape:
+            raise ValueError("kinds/args length mismatch")
+        if len(kinds) and int(kinds.max()) > EV_BARRIER:
+            raise ValueError("unknown event kind in bulk append")
+        self._kinds.extend(kinds.tolist())
+        self._args.extend(args.tolist())
+
     def build(self, coalesce: bool = False) -> Trace:
         """Freeze into a :class:`Trace`.
 

@@ -176,8 +176,7 @@ def emit_visits(builder: TraceBuilder, rng: np.random.Generator,
     args[:, 0] = compute_per_visit
     args[:, 1:] = lines[:n_blocks * block].reshape(n_blocks, block)
 
-    builder._kinds.extend(kinds.ravel().tolist())
-    builder._args.extend(args.ravel().tolist())
+    builder.extend_events(kinds, args)
     # Tail references that do not fill a whole block (bulk-appended:
     # same events the per-call read/write loop produced, one extend).
     tail = n_blocks * block

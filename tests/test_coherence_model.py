@@ -48,7 +48,8 @@ class GoldenModel:
         self.version[chunk] = self.version.get(chunk, 0) + 1
         self.copy_version[(node, chunk)] = self.version[chunk]
 
-    def on_invalidate(self, node: int, chunk: int) -> None:
+    def on_invalidate(self, node: int, chunk: int,
+                      now: int | None = None) -> None:
         self.copy_version.pop((node, chunk), None)
 
     def check(self, directory: Directory) -> None:

@@ -20,7 +20,7 @@ def make_protocol(stall=True):
     invalidated = []
     protocol = CoherenceProtocol(
         directory, network, memories,
-        invalidate_chunk=lambda n, c: invalidated.append((n, c)),
+        invalidate_chunk=lambda n, c, now=None: invalidated.append((n, c)),
         stall_on_invalidate=stall)
     return protocol, invalidated
 

@@ -211,6 +211,18 @@ class TestPageTable:
         with pytest.raises(RuntimeError):
             pt.map_scoma(1)
 
-    def test_rejects_oversized_chunk_count(self):
+    def test_rejects_nonpositive_chunk_count(self):
         with pytest.raises(ValueError):
-            PageTable(65)
+            PageTable(0)
+
+    def test_wide_pages_supported(self):
+        # Python's arbitrary-precision masks place no 64-chunk ceiling
+        # on a page (the vector kernel mirrors this with multi-word
+        # bitmaps).
+        pt = PageTable(65)
+        pt.map_scoma(1)
+        pt.set_chunk_valid(1, 64)
+        assert pt.chunk_valid(1, 64)
+        assert not pt.chunk_valid(1, 63)
+        assert pt.valid_chunks(1) == 1
+        assert pt.full_mask == (1 << 65) - 1

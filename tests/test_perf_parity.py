@@ -49,9 +49,14 @@ def run_cell(app, arch, pressure, *, config_kwargs=None, **engine_kwargs):
 
 
 class TestFastPathParity:
+    """Scalar fast path vs reference.  ``vector_path=False`` pins the
+    scalar loop explicitly: with vector dispatch defaulting to
+    ``auto``, a bare Engine would otherwise replay through the kernel
+    and these cells would stop covering the scalar fast path."""
+
     @pytest.mark.parametrize("app,arch,pressure", CELLS)
     def test_fast_matches_reference(self, app, arch, pressure):
-        fast = run_cell(app, arch, pressure)
+        fast = run_cell(app, arch, pressure, vector_path=False)
         reference = run_cell(app, arch, pressure, slow_path=True)
         assert fast == reference
 
@@ -62,7 +67,8 @@ class TestFastPathParity:
         radix at high pressure exercises every memo invalidator:
         faults, S-COMA (un)mappings, evictions, relocations, migration.
         """
-        memo = run_cell("radix", arch, 0.9, page_memo=True)
+        memo = run_cell("radix", arch, 0.9, page_memo=True,
+                        vector_path=False)
         reference = run_cell("radix", arch, 0.9, slow_path=True)
         assert memo == reference
 
@@ -71,7 +77,8 @@ class TestFastPathParity:
         """l1_ways=2 disables the inlined direct-mapped tag compare, so
         this covers the lookup()-based branch of both loops."""
         cfg = {"l1_ways": 2}
-        fast = run_cell("fft", arch, 0.7, config_kwargs=cfg)
+        fast = run_cell("fft", arch, 0.7, config_kwargs=cfg,
+                        vector_path=False)
         reference = run_cell("fft", arch, 0.7, config_kwargs=cfg,
                              slow_path=True)
         assert fast == reference
@@ -95,7 +102,7 @@ class TestThreeWayParity:
     @pytest.mark.parametrize("app,arch,pressure", CELLS)
     def test_three_way_matrix(self, app, arch, pressure):
         reference = run_cell(app, arch, pressure, slow_path=True)
-        fast = run_cell(app, arch, pressure)
+        fast = run_cell(app, arch, pressure, vector_path=False)
         vector = run_cell(app, arch, pressure, vector_path=True)
         assert fast == reference
         assert vector == reference
@@ -122,16 +129,19 @@ class TestThreeWayParity:
 
         spec = RunSpec(app="fft", arch="ASCOMA", pressure=0.9, scale=SCALE)
         blobs = []
-        for env in ({}, {"REPRO_SLOW_PATH": "1"},
-                    {"REPRO_VECTOR_PATH": "1"}):
+        # auto (the default), reference, vector-on, vector-off: four
+        # process-wide selections, one byte stream.
+        for i, env in enumerate(({}, {"REPRO_SLOW_PATH": "1"},
+                                 {"REPRO_VECTOR_PATH": "1"},
+                                 {"REPRO_VECTOR_PATH": "0"})):
             for var in ("REPRO_SLOW_PATH", "REPRO_VECTOR_PATH"):
                 monkeypatch.delenv(var, raising=False)
             for var, value in env.items():
                 monkeypatch.setenv(var, value)
-            store = RunStore(tmp_path / (next(iter(env), "fast")))
+            store = RunStore(tmp_path / f"store-{i}")
             path = store.put(spec, spec.execute())
             blobs.append(path.read_bytes())
-        assert blobs[0] == blobs[1] == blobs[2]
+        assert len(set(blobs)) == 1
 
     def test_kernel_availability_probe(self):
         """vector_available() must answer without raising; on CI's
@@ -142,6 +152,115 @@ class TestThreeWayParity:
         assert isinstance(available, bool)
         if os.environ.get("REPRO_EXPECT_VECTOR", "") == "1":
             assert available
+
+
+class TestWidenedEligibility:
+    """Shapes the kernel used to refuse and now replays natively:
+    >62 nodes (multi-word copysets), >62 chunks per page (multi-word
+    S-COMA valid bitmaps), kind-filtered event-bus observers (served
+    by the in-kernel event ring) and the page memo (carried through,
+    its invalidators all publish at Python exits).  Each gets the same
+    three-way bit-identity check as the core matrix."""
+
+    def _wide_workload(self):
+        from repro.workloads import synthetic
+        return synthetic.generate(
+            n_nodes=96, home_pages_per_node=3, remote_pages_per_node=5,
+            sweeps=3, lines_per_visit=6, hot_fraction=0.7,
+            write_fraction=0.3, home_lines_per_sweep=16, seed=11)
+
+    def _wide_cell(self, arch, **engine_kwargs):
+        from repro.core import make_policy
+        kwargs = {"ascoma": dict(threshold=8, increment=4)}.get(arch, {})
+        wl = self._wide_workload()
+        cfg = SystemConfig(n_nodes=96, memory_pressure=0.6)
+        engine = Engine(wl, make_policy(arch, **kwargs), cfg,
+                        **engine_kwargs)
+        return engine.run().to_dict()
+
+    @pytest.mark.parametrize("arch", ("ascoma", "ccnuma", "scoma"))
+    def test_96_node_three_way(self, arch):
+        reference = self._wide_cell(arch, slow_path=True)
+        fast = self._wide_cell(arch, vector_path=False)
+        vector = self._wide_cell(arch, vector_path=True)
+        assert fast == reference
+        assert vector == reference
+        assert len({_content_hash(r)
+                    for r in (reference, fast, vector)}) == 1
+
+    @pytest.mark.parametrize("arch", ("ASCOMA", "SCOMA"))
+    def test_wide_pages_three_way(self, arch):
+        """page_bytes=16384 -> 128 chunks per page: the S-COMA valid
+        bitmap no longer fits one word."""
+        cfg = {"page_bytes": 16384}
+        reference = run_cell("radix", arch, 0.9, config_kwargs=cfg,
+                             slow_path=True)
+        fast = run_cell("radix", arch, 0.9, config_kwargs=cfg,
+                        vector_path=False)
+        vector = run_cell("radix", arch, 0.9, config_kwargs=cfg,
+                          vector_path=True)
+        assert fast == reference
+        assert vector == reference
+
+    def test_page_memo_rides_the_kernel(self):
+        """The memo's unfiltered observer no longer disqualifies: all
+        of its invalidator events publish at scalar exits, so memo +
+        vector must equal the plain reference run."""
+        memo_vec = run_cell("radix", "ASCOMA", 0.9, page_memo=True,
+                            vector_path=True)
+        reference = run_cell("radix", "ASCOMA", 0.9, slow_path=True)
+        assert memo_vec == reference
+
+    def test_widened_shapes_pass_preflight(self):
+        """_eligible itself (no kernel needed): 96 nodes, a
+        kind-filtered observer and the page memo must all pass."""
+        from repro.obs.backoff import BackoffTelemetry
+        from repro.sim.soatrace import _eligible
+        wl = self._wide_workload()
+        cfg = SystemConfig(n_nodes=96, memory_pressure=0.6)
+        from repro.core import make_policy
+        engine = Engine(wl, make_policy("ascoma", threshold=8, increment=4),
+                        cfg, page_memo=True)
+        BackoffTelemetry().attach(engine)
+        assert _eligible(engine)
+
+    def test_sampler_still_falls_back(self):
+        """A time-series sampler needs every intermediate transition;
+        it must keep disqualifying the kernel."""
+        from repro.sim.soatrace import _eligible
+        wl = get_workload("fft", SCALE)
+        cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=0.5)
+        engine = Engine(wl, scaled_policy("ASCOMA"), config=cfg)
+        engine.sampler = object()
+        assert not _eligible(engine)
+
+
+class TestObsTimelineParity:
+    """--obs must observe the *same simulation* whichever loop runs it:
+    the BackoffTelemetry row stream (every daemon decision with its
+    clock, every phase row) and its counters must be byte-equal across
+    scalar, vector and reference replays."""
+
+    def _run_with_obs(self, **engine_kwargs):
+        from repro.obs.backoff import BackoffTelemetry
+        wl = get_workload("radix", SCALE)
+        cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=0.9)
+        engine = Engine(wl, scaled_policy("ASCOMA"), config=cfg,
+                        **engine_kwargs)
+        telemetry = BackoffTelemetry().attach(engine)
+        result = engine.run().to_dict()
+        return result, telemetry
+
+    def test_backoff_timeline_identical_across_loops(self):
+        r_ref, t_ref = self._run_with_obs(slow_path=True)
+        r_fast, t_fast = self._run_with_obs(vector_path=False)
+        r_vec, t_vec = self._run_with_obs(vector_path=True)
+        assert r_fast == r_ref and r_vec == r_ref
+        assert t_ref.rows, "radix@0.9 must produce daemon activity"
+        assert t_fast.rows == t_ref.rows
+        assert t_vec.rows == t_ref.rows
+        assert t_fast.counters() == t_ref.counters()
+        assert t_vec.counters() == t_ref.counters()
 
 
 class TestSlowPathSelection:
@@ -215,3 +334,74 @@ class TestVectorPathSelection:
         engine = self._engine(slow_path=True)
         assert engine.slow_path is True
         assert engine.vector_path is False
+
+
+class TestVectorModeSelection:
+    """The three-state dispatch behind the booleans: ``auto`` (default)
+    replays through the kernel whenever eligible, ``on`` is the
+    explicit opt-in, ``off`` pins the scalar loops.  ``vector_path``
+    stays the explicit-opt-in boolean for backwards compatibility."""
+
+    def _engine(self, **kwargs):
+        wl = get_workload("fft", SCALE)
+        cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=0.5)
+        return Engine(wl, scaled_policy("ASCOMA"), config=cfg, **kwargs)
+
+    def test_default_mode_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VECTOR_PATH", raising=False)
+        engine = self._engine()
+        assert engine.vector_mode == "auto"
+        assert engine.vector_path is False  # auto is not the opt-in
+
+    @pytest.mark.parametrize("value,expected", [
+        ("", "auto"), ("auto", "auto"), ("AUTO", "auto"),
+        ("0", "off"), ("off", "off"), ("no", "off"), ("false", "off"),
+        ("1", "on"), ("yes", "on"), ("on", "on"),
+    ])
+    def test_env_mode_table(self, monkeypatch, value, expected):
+        monkeypatch.delenv("REPRO_SLOW_PATH", raising=False)
+        monkeypatch.setenv("REPRO_VECTOR_PATH", value)
+        from repro.sim.engine import default_vector_mode
+        assert default_vector_mode() == expected
+        assert self._engine().vector_mode == expected
+
+    def test_ctor_booleans_map_to_modes(self):
+        assert self._engine(vector_path=True).vector_mode == "on"
+        assert self._engine(vector_path=False).vector_mode == "off"
+
+    def test_auto_never_conflicts_with_slow(self, monkeypatch):
+        """auto + slow_path must not raise: the reference loop simply
+        wins (only an *explicit* 'on' can conflict)."""
+        monkeypatch.delenv("REPRO_VECTOR_PATH", raising=False)
+        engine = self._engine(slow_path=True)
+        assert engine.slow_path is True
+        monkeypatch.setenv("REPRO_SLOW_PATH", "1")
+        monkeypatch.setenv("REPRO_VECTOR_PATH", "auto")
+        assert self._engine().slow_path is True
+
+    @pytest.mark.parametrize("kwargs,env,expect_kernel", [
+        ({}, {}, True),                                # auto
+        ({"vector_path": True}, {}, True),             # explicit on
+        ({"vector_path": False}, {}, False),           # explicit off
+        ({}, {"REPRO_VECTOR_PATH": "off"}, False),     # env off
+        ({"slow_path": True}, {}, False),              # reference loop
+    ])
+    def test_dispatch_reaches_kernel(self, monkeypatch, kwargs, env,
+                                     expect_kernel):
+        """run() must actually route through run_vector exactly when
+        the mode says so (auto included), falling back losslessly."""
+        import repro.sim.soatrace as soatrace
+        for var in ("REPRO_SLOW_PATH", "REPRO_VECTOR_PATH"):
+            monkeypatch.delenv(var, raising=False)
+        for var, value in env.items():
+            monkeypatch.setenv(var, value)
+        calls = []
+
+        def probe(engine):
+            calls.append(engine)
+            return None  # degrade: the engine must finish on the fast path
+
+        monkeypatch.setattr(soatrace, "run_vector", probe)
+        result = self._engine(**kwargs).run().to_dict()
+        assert bool(calls) is expect_kernel
+        assert result == self._engine(slow_path=True).run().to_dict()

@@ -17,8 +17,8 @@ def make_protocol(n_nodes=4, contention=False):
     demoted = []
     protocol = CoherenceProtocol(
         directory, network, memories,
-        invalidate_chunk=lambda n, c: invalidated.append((n, c)),
-        demote_chunk=lambda n, c: demoted.append((n, c)))
+        invalidate_chunk=lambda n, c, now=None: invalidated.append((n, c)),
+        demote_chunk=lambda n, c, now=None: demoted.append((n, c)))
     return protocol, invalidated, demoted
 
 

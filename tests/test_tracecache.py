@@ -158,6 +158,107 @@ class TestMaintenance:
         assert info["entries"] == 0 and info["bytes"] == 0
 
 
+class TestSoaSidecar:
+    """The ``.soa`` sidecar is strictly additive: attaching one must
+    be observationally identical to the in-memory decode it replaces,
+    and *anything* wrong with it — missing, corrupt, truncated, stale
+    version, foreign workload — is a silent decode miss, never an
+    error."""
+
+    def _warm(self, tmp_path):
+        store = _store(tmp_path)
+        store.put(APP, SCALE, get_workload(APP, SCALE))
+        return store
+
+    def test_put_writes_sidecar_and_get_attaches(self, tmp_path):
+        store = self._warm(tmp_path)
+        assert store.path_for(APP, SCALE).with_suffix(".soa").exists()
+        warm = store.get(APP, SCALE)
+        assert store.soa_attaches == 1
+        kinds, args, offsets, lengths, lo, hi = warm._soa_cache
+        assert isinstance(kinds, np.memmap) and isinstance(args, np.memmap)
+        # Bit-identical to the decode a sidecar-less load would run.
+        ck, ca, co, cl, clo, chi = get_workload(APP, SCALE).soa()
+        assert np.array_equal(kinds, ck) and np.array_equal(args, ca)
+        assert np.array_equal(offsets, co) and np.array_equal(lengths, cl)
+        assert (lo, hi) == (clo, chi)
+
+    def test_missing_sidecar_is_a_decode_miss(self, tmp_path):
+        store = self._warm(tmp_path)
+        store.path_for(APP, SCALE).with_suffix(".soa").unlink()
+        warm = store.get(APP, SCALE)
+        assert warm is not None and store.soa_attaches == 0
+        # The in-memory decode still runs, unchanged.
+        ck, ca, *_ = get_workload(APP, SCALE).soa()
+        kinds, args, *_ = warm.soa()
+        assert np.array_equal(kinds, ck) and np.array_equal(args, ca)
+
+    @pytest.mark.parametrize("damage", ["garbage", "truncated"])
+    def test_damaged_sidecar_is_a_decode_miss(self, tmp_path, damage):
+        store = self._warm(tmp_path)
+        soa_path = store.path_for(APP, SCALE).with_suffix(".soa")
+        if damage == "garbage":
+            soa_path.write_bytes(b"JUNK" * 32)
+        else:
+            soa_path.write_bytes(soa_path.read_bytes()[:64])
+        warm = store.get(APP, SCALE)
+        assert warm is not None and store.soa_attaches == 0
+        assert getattr(warm, "_soa_cache", None) is None
+
+    def test_stale_soa_version_is_a_decode_miss(self, tmp_path, monkeypatch):
+        import repro.runtime.tracecache as tc
+        store = self._warm(tmp_path)
+        monkeypatch.setattr(tc, "SOA_FORMAT_VERSION",
+                            tc.SOA_FORMAT_VERSION + 1)
+        warm = store.get(APP, SCALE)
+        assert warm is not None and store.soa_attaches == 0
+
+    def test_foreign_workload_sidecar_is_a_decode_miss(self, tmp_path):
+        """A sidecar whose content hash does not match the trace it
+        sits next to (e.g. a half-synced cache dir) must not attach."""
+        import repro.runtime.tracecache as tc
+        store = self._warm(tmp_path)
+        assert tc.write_soa_sidecar(store.path_for(APP, SCALE),
+                                    get_workload("fft", SCALE))
+        warm = store.get(APP, SCALE)
+        assert warm is not None and store.soa_attaches == 0
+
+    def test_sidecar_write_failure_is_non_fatal(self, tmp_path):
+        import repro.runtime.tracecache as tc
+        missing = tmp_path / "nowhere" / "x.trace"
+        assert tc.write_soa_sidecar(missing, get_workload(APP, SCALE)) \
+            is False
+
+    def test_clear_and_describe_cover_sidecars(self, tmp_path):
+        store = self._warm(tmp_path)
+        (entry,) = store.entries()
+        assert entry["soa"] is True
+        info = store.describe()
+        assert info["soa_sidecars"] == 1
+        assert info["soa_format_version"] >= 1
+        assert store.clear() == 1
+        assert not list(store.root.glob("*.soa"))
+
+    def test_vector_replay_reads_memmapped_sidecar(self, tmp_path):
+        """End-to-end: a read-only memory-mapped sidecar must feed the
+        compiled kernel and produce the reference bytes."""
+        from repro.harness.experiment import scaled_policy
+        from repro.sim.config import SystemConfig
+        from repro.sim.engine import Engine
+        store = self._warm(tmp_path)
+        warm = store.get(APP, SCALE)
+        assert isinstance(warm._soa_cache[0], np.memmap)
+
+        def run(wl, **kwargs):
+            cfg = SystemConfig(n_nodes=wl.n_nodes, memory_pressure=0.7)
+            return Engine(wl, scaled_policy("ASCOMA"), config=cfg,
+                          **kwargs).run().to_dict()
+
+        vector = run(warm, vector_path=True)
+        reference = run(get_workload(APP, SCALE), slow_path=True)
+        assert vector == reference
+
+
 class TestCostModel:
     def test_lpt_orders_costliest_first(self):
         specs = [RunSpec("fft", "ASCOMA", 0.7),
@@ -179,6 +280,34 @@ class TestCostModel:
         base = spec_cost(RunSpec("fft", "ASCOMA", 0.7), events=1000)
         heavy = spec_cost(RunSpec("fft", "CCNUMA", 0.7), events=1000)
         assert heavy > base == 1000
+
+    def test_vector_weight_table_selected_explicitly(self):
+        from repro.runtime.costs import VECTOR_ARCH_WEIGHTS
+        base = spec_cost(RunSpec("fft", "ASCOMA", 0.7), events=1000,
+                         vector=True)
+        heavy = spec_cost(RunSpec("fft", "CCNUMA", 0.7), events=1000,
+                          vector=True)
+        assert base == 1000
+        assert heavy == 1000 * VECTOR_ARCH_WEIGHTS["CCNUMA"]
+        # The vector table reshuffles ranks, it does not just rescale:
+        # CC-NUMA's relative cost is far higher through the kernel.
+        assert heavy / base > spec_cost(
+            RunSpec("fft", "CCNUMA", 0.7), events=1000, vector=False) / 1000
+
+    def test_substrate_probe_respects_pinned_off(self, monkeypatch):
+        from repro.runtime import costs
+        monkeypatch.setenv("REPRO_VECTOR_PATH", "0")
+        assert costs._vector_substrate() is False
+
+    def test_lpt_vector_flag_changes_ranks_not_membership(self):
+        specs = [RunSpec("fft", arch, 0.7)
+                 for arch in ("ASCOMA", "CCNUMA", "SCOMA")]
+        events_of = {("fft", 0.5): 1000}
+        scalar = lpt_order(specs, events_of, vector=False)
+        vector = lpt_order(specs, events_of, vector=True)
+        assert sorted(s.arch for s in scalar) == \
+            sorted(s.arch for s in vector)
+        assert vector[0].arch == "CCNUMA"  # the vector outlier leads
 
     def test_submit_chunksize(self):
         assert submit_chunksize(90, 1) == 22
