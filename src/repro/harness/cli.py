@@ -19,8 +19,23 @@ Commands
 ``serve``              run the persistent async job server
 ``submit APP ARCH``    submit one run to a running server
 ``jobs``               list a running server's jobs
+``ingest PATH``        register an external trace file as a workload
+``sample-report``      sampled-vs-full error analysis (committed configs)
 
 Every command accepts ``--scale`` (workload scale, default 0.5).
+
+Sampling & external traces
+--------------------------
+``run``/``matrix`` accept ``--sample-rate K`` (keep every K-th barrier
+epoch; ``--sample-unit visit|ref`` for barrier-poor traces),
+``--sample-pages F`` (keep a hash-selected page fraction) and
+``--sample-seed``.  Sampling parameters are part of the spec hash, so
+sampled and full runs never share store entries; summaries report the
+raw sampled metrics plus scale-up estimates (see ``docs/sampling.md``).
+``repro ingest FILE`` converts an external trace (CSV
+``time,node,addr,op`` or a Cydonia-style block trace) into a
+store-backed workload and prints the ``ext/<name>@<hash>`` app id that
+``run`` then accepts in place of a generated app name.
 
 Serving
 -------
@@ -132,6 +147,25 @@ def build_parser() -> argparse.ArgumentParser:
                             " Unix socket (falls back to in-process"
                             " execution when none is listening)")
 
+    def add_sample_flags(p) -> None:
+        p.add_argument("--sample-rate", type=int, default=1, metavar="K",
+                       help="keep every K-th sampling unit of the trace"
+                            " (default 1 = full trace; part of the spec"
+                            " hash)")
+        p.add_argument("--sample-pages", type=float, default=1.0,
+                       metavar="F",
+                       help="keep references to a hash-selected fraction"
+                            " F of the shared pages, rescaling page pools"
+                            " to match (default 1.0)")
+        p.add_argument("--sample-seed", type=int, default=0,
+                       help="seed for the sampling phase/page hashes"
+                            " (default 0)")
+        p.add_argument("--sample-unit", choices=("sweep", "visit", "ref"),
+                       default="sweep",
+                       help="rate-sampling granularity: barrier epochs"
+                            " (default; regime-preserving), page visits,"
+                            " or raw references (see docs/sampling.md)")
+
     p = sub.add_parser("run", help="run one simulation")
     p.add_argument("app")
     p.add_argument("arch")
@@ -142,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="attach the online invariant checker"
                         " (bypasses the result store)")
+    add_sample_flags(p)
     add_server_flag(p)
     add_obs_flags(p)
 
@@ -164,8 +199,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="attach the online invariant checker to every"
                         " cell (bypasses the result store)")
+    add_sample_flags(p)
     add_server_flag(p)
     add_obs_flags(p)
+
+    p = sub.add_parser("ingest",
+                       help="register an external trace file as a"
+                            " store-backed workload")
+    p.add_argument("path", help="trace file to ingest")
+    p.add_argument("--format", choices=("csv", "cydonia"), default="csv",
+                   help="input layout: 'csv' is time,node,addr,op[,size];"
+                        " 'cydonia' is a Cydonia-style block trace"
+                        " (ts,lba,op,size) sharded over --nodes by page"
+                        " hash (default csv)")
+    p.add_argument("--name", default=None,
+                   help="workload name (default: the file stem);"
+                        " registered as ext/<name>@<content-hash>")
+    p.add_argument("--nodes", type=int, default=None,
+                   help="node count for formats without a node column"
+                        " (cydonia; default 8)")
+    p.add_argument("--barriers", type=int, default=1,
+                   help="global barriers to insert at time quantiles"
+                        " (default 1, i.e. one epoch)")
+    p.add_argument("--cycles-per-time", type=float, default=0.0,
+                   help="convert inter-reference time gaps into COMPUTE"
+                        " cycles at this rate (default 0 = no compute)")
+    p.add_argument("--block-bytes", type=int, default=512,
+                   help="LBA block size for cydonia traces (default 512)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the cydonia node-sharding hash")
+
+    p = sub.add_parser("sample-report",
+                       help="measure sampled-vs-full estimator error on"
+                            " the committed analysis configs")
+    p.add_argument("--app", default=None,
+                   help="measure one ad-hoc cell instead of the"
+                        " committed configs (requires --arch)")
+    p.add_argument("--arch", default=None)
+    p.add_argument("--pressure", type=float, default=0.9)
+    p.add_argument("--rate", type=int, default=4)
+    p.add_argument("--pages", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--unit", choices=("sweep", "visit", "ref"),
+                   default="sweep")
 
     sub.add_parser("claims", help="paper-claim scorecard")
 
@@ -334,24 +410,53 @@ def _print_cell_events(event: dict, stream=None) -> None:
     print(line, file=stream or sys.stderr)
 
 
+def _sample_from_args(args):
+    """The :class:`SampleSpec` described by ``--sample-*``, or ``None``."""
+    from ..workloads.sample import SampleSpec
+    return SampleSpec.from_any(SampleSpec(
+        rate=args.sample_rate, pages=args.sample_pages,
+        seed=args.sample_seed, unit=args.sample_unit))
+
+
+def _sampled_summary(args, sample, result) -> str:
+    """Run summary plus the scale-up estimates for a sampled cell."""
+    from ..runtime.tracecache import fetch_traces
+    from ..workloads.sample import estimated_metrics, sample_scale_factor
+    text = _run_summary(args.app, args.pressure, result)
+    factor = sample_scale_factor(
+        fetch_traces(args.app, args.scale, sample=sample))
+    est = estimated_metrics(result, sample, factor=factor)
+    return text + (f"\n  sampled        : {sample.label() or 'full'}"
+                   f" (scale-up x{factor:.2f}) -> estimated full trace:"
+                   f" {est['cycles']:,.0f} cycles,"
+                   f" Toverhead {est['toverhead']:,.0f},"
+                   f" {est['remaps']:,.0f} remap(s)")
+
+
 def _cmd_run(args) -> str:
     from .experiment import run_app
+    sample = _sample_from_args(args)
     if not args.check:
         client = _server_client(args)
         if client is not None:
             from ..runtime import RunFailure, RunSpec
             with client:
-                spec = RunSpec(args.app, args.arch, args.pressure,
-                               args.scale, quantum=args.quantum)
+                spec = RunSpec.make(args.app, args.arch, args.pressure,
+                                    args.scale, quantum=args.quantum,
+                                    sample=sample)
                 job = client.submit([spec], stream=True,
                                     on_event=_print_cell_events)
                 outcome = client.outcomes(job["id"]).get(spec)
             if outcome is None or isinstance(outcome, RunFailure):
                 raise ValueError(outcome.label() if outcome is not None
                                  else f"job {job['id']} returned no result")
+            if sample is not None:
+                return _sampled_summary(args, sample, outcome)
             return _run_summary(args.app, args.pressure, outcome)
     result = run_app(args.app, args.arch, args.pressure, scale=args.scale,
-                     check=args.check, quantum=args.quantum)
+                     check=args.check, quantum=args.quantum, sample=sample)
+    if sample is not None:
+        return _sampled_summary(args, sample, result)
     return _run_summary(args.app, args.pressure, result)
 
 
@@ -388,7 +493,8 @@ def _cmd_matrix(args):
         if app not in APP_PRESSURES:
             raise ValueError(f"unknown app {app!r};"
                              f" choose from {sorted(APP_PRESSURES)}")
-    specs = matrix_specs(apps, args.scale, quantum=args.quantum)
+    specs = matrix_specs(apps, args.scale, quantum=args.quantum,
+                         sample=_sample_from_args(args))
     client = None if args.check else _server_client(args)
     if client is not None:
         with client:
@@ -421,6 +527,68 @@ def _cmd_matrix(args):
         for failure in failures:
             text += f"\n  {failure.label()}"
     return text, (1 if failures or violations else 0)
+
+
+def _cmd_ingest(args) -> str:
+    from ..runtime import get_default_trace_store
+    from ..workloads.ingest import ingest_file, register_external
+    store = get_default_trace_store()
+    if store is None:
+        raise ValueError("ingest needs the trace store;"
+                         " drop --no-trace-cache")
+    traces = ingest_file(args.path, fmt=args.format, name=args.name,
+                         nodes=args.nodes, barriers=args.barriers,
+                         cycles_per_time=args.cycles_per_time,
+                         block_bytes=args.block_bytes, seed=args.seed)
+    app_id = register_external(traces, store=store)
+    events = sum(len(t) for t in traces.traces)
+    refs = sum(t.shared_refs() for t in traces.traces)
+    return (f"ingested {args.path} ({args.format}):"
+            f" {traces.n_nodes} nodes, {events:,} events,"
+            f" {refs:,} shared refs,"
+            f" {traces.total_shared_pages} pages\n"
+            f"registered as: {app_id}\n"
+            f"run it with:   repro run '{app_id}' ASCOMA")
+
+
+def _cmd_sample_report(args) -> str:
+    from ..workloads.sample import (ERROR_BOUNDS, sampling_error,
+                                    sampling_error_report)
+    from .report import format_table
+    if args.app:
+        if not args.arch:
+            raise ValueError("--app needs --arch")
+        reports = [sampling_error(args.app, args.arch, args.pressure,
+                                  args.scale, rate=args.rate,
+                                  pages=args.pages, seed=args.seed,
+                                  unit=args.unit)]
+        title = "ad-hoc sampling error analysis"
+    else:
+        reports = sampling_error_report()
+        title = ("committed sampling error analysis"
+                 " (bounds: " + ", ".join(f"{k} {v:.0%}"
+                                          for k, v in ERROR_BOUNDS.items())
+                 + ")")
+    rows = []
+    exceeded = 0
+    for r in reports:
+        s = r["sample"]
+        label = f"1/{s['rate']}{'' if s['unit'] == 'sweep' else s['unit'][0]}"
+        if s["pages"] < 1:
+            label += f" p{s['pages']:g}"
+        ok = all(r["errors"][k] <= ERROR_BOUNDS[k] for k in ERROR_BOUNDS)
+        exceeded += 0 if ok else 1
+        rows.append([f"{r['app']}/{r['arch']}@{r['pressure']:.0%}"
+                     f"(x{r['scale']:g})", label,
+                     f"{r['scale_factor']:.2f}",
+                     f"{r['errors']['cycles']:.1%}",
+                     f"{r['errors']['toverhead']:.1%}",
+                     f"{r['errors']['remaps']:.1%}",
+                     "ok" if ok else "EXCEEDED"])
+    text = format_table(
+        ["Cell", "Sample", "Factor", "Cycles err", "Toverhead err",
+         "Remaps err", "Bounds"], rows, title=title)
+    return text, (1 if exceeded else 0)
 
 
 def _cmd_check(args):
@@ -690,6 +858,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "matrix": _cmd_matrix,
+    "ingest": _cmd_ingest,
+    "sample-report": _cmd_sample_report,
     "claims": _cmd_claims,
     "bench": _cmd_bench,
     "check": _cmd_check,
@@ -742,7 +912,7 @@ def main(argv: list[str] | None = None) -> int:
         with use_store(store, refresh=args.refresh), \
                 use_trace_store(trace_store), use_obs(recorder):
             output = _COMMANDS[args.command](args)
-    except (ValueError, OSError) as exc:
+    except (ValueError, OSError, LookupError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:

@@ -78,7 +78,8 @@ def get_workload(app: str, scale: float = DEFAULT_SCALE) -> WorkloadTraces:
 
 def run_app(app: str, arch: str, pressure: float,
             scale: float = DEFAULT_SCALE, check: bool = False,
-            quantum: int | None = None, **policy_overrides) -> RunResult:
+            quantum: int | None = None, sample=None,
+            **policy_overrides) -> RunResult:
     """One cell of the evaluation matrix.
 
     Goes through the runtime layer: with an ambient
@@ -89,9 +90,14 @@ def run_app(app: str, arch: str, pressure: float,
     invariant checker and bypasses the store (see ``docs/invariants.md``).
     ``quantum`` overrides the engine's scheduling quantum; it is part
     of the spec, so distinct quanta occupy distinct store entries.
+    ``sample`` (a :class:`~repro.workloads.sample.SampleSpec`, dict or
+    ``None``) replays the deterministically sampled workload instead of
+    the full trace; like *quantum* it is part of the spec, so sampled
+    and full cells never share a store entry.
     """
     spec = RunSpec.make(app, arch, pressure, scale,
-                        policy_overrides=policy_overrides, quantum=quantum)
+                        policy_overrides=policy_overrides, quantum=quantum,
+                        sample=sample)
     return execute_spec(spec, check=check)
 
 

@@ -59,7 +59,7 @@ def run_cells(cells: list[tuple], max_workers: int | None = None,
 
 
 def matrix_specs(apps=None, scale: float = 0.5,
-                 quantum: int | None = None) -> list[RunSpec]:
+                 quantum: int | None = None, sample=None) -> list[RunSpec]:
     """Every spec of the paper's evaluation matrix.
 
     CC-NUMA appears once per app (pressure-insensitive, simulated at
@@ -67,20 +67,23 @@ def matrix_specs(apps=None, scale: float = 0.5,
     (app, pressure) point.  A non-default *quantum* applies to every
     cell and keys distinct store entries (quantum changes event
     interleaving, so cached results must not be shared across quanta).
+    *sample* (SampleSpec/dict/None) likewise applies to every cell:
+    sampled matrices replay reduced traces and occupy their own store
+    entries (see :mod:`repro.workloads.sample`).
     """
     from .experiment import APP_PRESSURES, ARCHITECTURES
     apps = apps or tuple(APP_PRESSURES)
     specs = []
     for app in apps:
         pressures = APP_PRESSURES[app]
-        specs.append(RunSpec(app, "CCNUMA", pressures[0], scale,
-                             quantum=quantum))
+        specs.append(RunSpec.make(app, "CCNUMA", pressures[0], scale,
+                                  quantum=quantum, sample=sample))
         for arch in ARCHITECTURES:
             if arch == "CCNUMA":
                 continue
             for pressure in pressures:
-                specs.append(RunSpec(app, arch, pressure, scale,
-                                     quantum=quantum))
+                specs.append(RunSpec.make(app, arch, pressure, scale,
+                                          quantum=quantum, sample=sample))
     return specs
 
 
@@ -88,7 +91,7 @@ def run_matrix_parallel(apps=None, scale: float = 0.5,
                         max_workers: int | None = None, *, store=None,
                         refresh: bool | None = None, retries: int = 0,
                         progress=None, strict: bool = True,
-                        quantum: int | None = None) -> dict:
+                        quantum: int | None = None, sample=None) -> dict:
     """The paper's whole matrix, fanned out: {app: {(arch, p): result}}.
 
     CC-NUMA runs once per app (pressure-insensitive) under the key
@@ -102,7 +105,7 @@ def run_matrix_parallel(apps=None, scale: float = 0.5,
     """
     from .experiment import APP_PRESSURES
     apps = apps or tuple(APP_PRESSURES)
-    specs = matrix_specs(apps, scale, quantum=quantum)
+    specs = matrix_specs(apps, scale, quantum=quantum, sample=sample)
     outcomes = execute(specs, store=store, refresh=refresh,
                        max_workers=max_workers, retries=retries,
                        progress=progress)

@@ -1,6 +1,6 @@
 """The curated microbenchmark suite behind ``python -m repro bench``.
 
-Nine benchmark families, chosen to bracket the simulator's cost
+Ten benchmark families, chosen to bracket the simulator's cost
 structure (docs/performance.md):
 
 * ``single:<app>/<arch>`` -- one evaluation cell per architecture, so a
@@ -30,7 +30,10 @@ structure (docs/performance.md):
 * ``serve_warm`` -- one submit->result round-trip against a warm
   :class:`~repro.serve.JobServer` for a cached cell, versus a cold
   ``repro run`` process invocation of the same cell; the regression
-  gate holds the factor at >=5x.
+  gate holds the factor at >=5x;
+* ``sampling:<app>/<arch>`` -- sample-then-replay of one committed
+  error-analysis cell versus full replay, recording the kept fraction,
+  the trace-heap ratio and the wall-time speedup sampled sweeps bank.
 
 Workload generation is hoisted out of every replay measurement (traces
 are cached and replayed many times in real sweeps), and engine benches
@@ -59,7 +62,7 @@ __all__ = ["MICRO_SCALE", "E2E_SCALE", "ALL_APPS", "MATRIX_APPS",
            "bench_vector_matrix_micro", "bench_matrix_e2e",
            "bench_trace_generation", "bench_trace_generation_cached",
            "bench_checker_overhead", "bench_obs_overhead",
-           "bench_serve_warm", "run_suite",
+           "bench_serve_warm", "bench_sampling", "run_suite",
            "bench_payload", "load_bench_json"]
 
 #: Workload scale all replay microbenchmarks run at: large enough that
@@ -408,6 +411,46 @@ def bench_serve_warm(rounds: int = 20, repeats: int = 3) -> BenchResult:
     return result
 
 
+def bench_sampling(app: str = "em3d", arch: str = "SCOMA",
+                   pressure: float = 0.9, scale: float = MICRO_SCALE,
+                   rate: int = 7, repeats: int = 3) -> BenchResult:
+    """Sampled replay (sample + run) vs full replay of one cell.
+
+    Times the whole sampled path — streaming the reduction off the SoA
+    decode *plus* replaying the reduced trace — against replaying the
+    full trace, on a committed error-analysis cell.  ``meta`` records
+    the kept-event fraction, the trace-heap ratio
+    (:func:`~repro.workloads.sample.trace_memory_bytes`) and the
+    wall-time factor: the speedup a ``--sample-rate`` sweep banks per
+    cell.
+    """
+    from ..workloads.sample import (SampleSpec, sample_workload,
+                                    trace_memory_bytes)
+
+    wl = get_workload(app, scale)
+    spec = SampleSpec(rate=rate)
+    events = _workload_events(wl)
+    sampled_wl = sample_workload(wl, spec)
+    kept = _workload_events(sampled_wl)
+
+    def sampled_once() -> None:
+        reduced = sample_workload(wl, spec)
+        _engine(reduced, arch, pressure).run()
+
+    full = run_bench("_full", lambda: _engine(wl, arch, pressure).run(),
+                     events, repeats)
+    result = run_bench(f"sampling:{app}/{arch}", sampled_once, kept, repeats,
+                       meta={"app": app, "arch": arch, "pressure": pressure,
+                             "scale": scale, "rate": rate, "unit": spec.unit,
+                             "kept_fraction": round(kept / events, 4),
+                             "memory_ratio": round(
+                                 trace_memory_bytes(sampled_wl)
+                                 / trace_memory_bytes(wl), 4)})
+    result.meta["full_wall_s"] = round(full.wall_s, 6)
+    result.meta["speedup_x"] = round(full.wall_s / result.wall_s, 3)
+    return result
+
+
 def run_suite(repeats: int = 3, only: str | None = None) -> list[BenchResult]:
     """Run the whole curated suite; *only* filters by name substring.
 
@@ -428,12 +471,14 @@ def run_suite(repeats: int = 3, only: str | None = None) -> list[BenchResult]:
         lambda: bench_checker_overhead(repeats=repeats),
         lambda: bench_obs_overhead(repeats=repeats),
         lambda: bench_serve_warm(repeats=repeats),
+        lambda: bench_sampling(repeats=repeats),
     ]
     names = [f"single:fft/{arch}" for arch in ARCHITECTURES]
     names += ["matrix_micro", "vector:matrix_micro", "matrix_e2e"]
     names += [f"tracegen:{app}" for app in ALL_APPS]
     names += [f"tracegen_cached:{app}" for app in ALL_APPS]
     names += ["checker:fft/ASCOMA", "obs_overhead", "serve_warm"]
+    names += ["sampling:em3d/SCOMA"]
     results = []
     for name, bench in zip(names, benches):
         if only and only not in name:

@@ -79,29 +79,33 @@ def _vector_substrate() -> bool:
     compiled kernel actually loads here (workers are forked from — or
     configured identically to — this process).  Probed per call; the
     kernel load itself is memoized, so this is one env read plus one
-    memo lookup after the first call.
+    memo lookup after the first call.  Env parsing is delegated to
+    :func:`~repro.sim.engine.default_vector_mode` so the cost model,
+    the engine, the CLI and the job server all read
+    ``REPRO_VECTOR_PATH`` with the same (strict) rules.
     """
-    import os
+    from ..sim.engine import default_vector_mode
 
-    if os.environ.get("REPRO_VECTOR_PATH", "").lower() in (
-            "0", "off", "no", "false"):
+    if default_vector_mode() == "off":
         return False
     from ..sim.soatrace import vector_available
 
     return vector_available()
 
 
-def workload_events(app: str, scale: float) -> int:
+def workload_events(app: str, scale: float, sample=None) -> int:
     """Total trace events of one workload (all nodes).
 
     Routed through :func:`~repro.runtime.tracecache.fetch_traces`, so
     asking for the count *is* the pre-warm: the parent process pays
     generation (or a cache hit) once, and forked pool workers inherit
-    the in-memory traces for free.
+    the in-memory traces for free.  With *sample* set, the count (and
+    the pre-warm) is of the sampled workload — the one the cell will
+    actually replay.
     """
     from .tracecache import fetch_traces
 
-    traces = fetch_traces(app, scale)
+    traces = fetch_traces(app, scale, sample=sample)
     return sum(len(t) for t in traces.traces)
 
 
@@ -116,7 +120,8 @@ def spec_cost(spec: RunSpec, events: int | None = None,
     whichever substrate this process would actually dispatch on.
     """
     if events is None:
-        events = workload_events(spec.app, spec.scale)
+        events = workload_events(spec.app, spec.scale,
+                                 sample=spec.sample or None)
     if vector is None:
         vector = _vector_substrate()
     arch = canonical_arch(spec.arch)
@@ -130,20 +135,23 @@ def spec_cost(spec: RunSpec, events: int | None = None,
 def lpt_order(specs, events_of=None, vector: bool | None = None) -> list:
     """Specs sorted costliest-first (LPT dispatch order).
 
-    *events_of* maps ``(app, scale) -> event count``; missing entries
-    (e.g. a spec whose workload failed to generate — it will fail
-    identically in the worker, where the failure is isolated) cost 0
-    and sort last.  The sort is stable, so equal-cost cells keep their
-    submission order and reruns dispatch identically.  *vector* picks
-    the weight table as in :func:`spec_cost`; the substrate probe runs
-    once for the whole sort, not per cell.
+    *events_of* maps ``(app, scale, sample) -> event count`` (legacy
+    ``(app, scale)`` keys still resolve unsampled specs); missing
+    entries (e.g. a spec whose workload failed to generate — it will
+    fail identically in the worker, where the failure is isolated)
+    cost 0 and sort last.  The sort is stable, so equal-cost cells keep
+    their submission order and reruns dispatch identically.  *vector*
+    picks the weight table as in :func:`spec_cost`; the substrate probe
+    runs once for the whole sort, not per cell.
     """
     events_of = events_of or {}
     if vector is None:
         vector = _vector_substrate()
 
     def cost(spec: RunSpec) -> float:
-        events = events_of.get((spec.app, spec.scale))
+        events = events_of.get((spec.app, spec.scale, spec.sample))
+        if events is None and not spec.sample:
+            events = events_of.get((spec.app, spec.scale))
         return spec_cost(spec, events, vector=vector) if events is not None \
             else 0.0
 

@@ -143,11 +143,14 @@ def _pool_init(trace_root: str | None) -> None:
 def _prewarm(specs) -> dict:
     """Resolve every distinct workload once in the parent process.
 
-    Returns ``(app, scale) -> total event count`` for the cost model.
-    Forked workers inherit the warmed traces (and the per-process memo)
-    for free.  A workload whose generation raises is skipped — the same
-    failure reproduces inside :func:`run_spec`, where it is isolated
-    into a :class:`RunFailure` instead of killing the sweep.
+    Returns ``(app, scale, sample) -> total event count`` for the cost
+    model.  Forked workers inherit the warmed traces (and the
+    per-process memo) for free.  A workload whose generation raises is
+    skipped — the same failure reproduces inside :func:`run_spec`,
+    where it is isolated into a :class:`RunFailure` instead of killing
+    the sweep.  Sampled cells warm (and count) the *sampled* workload,
+    which on a warm trace store streams from the ``.soa`` sidecar
+    without materializing the full trace.
 
     The vector kernel is probed (built + dlopened) here too: one
     compile in the parent instead of one per forked worker, and the
@@ -158,9 +161,11 @@ def _prewarm(specs) -> dict:
 
     vector_available()
     events_of: dict = {}
-    for key in dict.fromkeys((s.app, s.scale) for s in specs):
+    for key in dict.fromkeys((s.app, s.scale, s.sample) for s in specs):
+        app, scale, sample = key
         try:
-            events_of[key] = workload_events(*key)
+            events_of[key] = workload_events(app, scale,
+                                             sample=sample or None)
         except Exception:  # noqa: BLE001 - fault isolation happens per cell
             pass
     return events_of

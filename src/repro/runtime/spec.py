@@ -56,6 +56,22 @@ def _freeze(overrides) -> tuple:
     return tuple(sorted((str(k), v) for k, v in items))
 
 
+def _freeze_sample(sample) -> tuple:
+    """Normalise a sample description to canonical frozen item pairs.
+
+    Accepts ``None``, a :class:`~repro.workloads.sample.SampleSpec`, a
+    plain dict, or already-frozen pairs; every spelling of "no
+    sampling" collapses to ``()`` so unsampled specs keep their
+    pre-sampling canonical form (and store hashes) bit-identical.
+    """
+    if not sample:
+        return ()
+    from ..workloads.sample import SampleSpec
+
+    spec = SampleSpec.from_any(sample)
+    return spec.to_pairs() if spec is not None else ()
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One simulation cell, canonically described.
@@ -73,6 +89,11 @@ class RunSpec:
     policy_overrides: tuple = ()
     config_overrides: tuple = ()
     quantum: int | None = None
+    #: Trace-sampling parameters as canonical frozen item pairs
+    #: (:meth:`~repro.workloads.sample.SampleSpec.to_pairs`); ``()``
+    #: means the full trace.  Sampling changes the replayed workload,
+    #: so — unlike replay-loop selection — it *does* enter the hash.
+    sample: tuple = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "arch", canonical_arch(self.arch))
@@ -80,17 +101,18 @@ class RunSpec:
                            _freeze(self.policy_overrides))
         object.__setattr__(self, "config_overrides",
                            _freeze(self.config_overrides))
+        object.__setattr__(self, "sample", _freeze_sample(self.sample))
 
     # -- constructors ---------------------------------------------------
     @classmethod
     def make(cls, app: str, arch: str, pressure: float, scale: float = 0.5,
              policy_overrides: dict | None = None,
              config_overrides: dict | None = None,
-             quantum: int | None = None) -> "RunSpec":
+             quantum: int | None = None, sample=None) -> "RunSpec":
         """Build a spec from plain dicts of overrides."""
         return cls(app, arch, pressure, scale,
                    _freeze(policy_overrides), _freeze(config_overrides),
-                   quantum)
+                   quantum, _freeze_sample(sample))
 
     @classmethod
     def from_cell(cls, cell: tuple) -> "RunSpec":
@@ -104,7 +126,7 @@ class RunSpec:
 
     # -- serialisation / hashing ---------------------------------------
     def to_dict(self) -> dict:
-        return {
+        out = {
             "app": self.app,
             "arch": self.arch,
             "pressure": self.pressure,
@@ -113,6 +135,12 @@ class RunSpec:
             "config_overrides": [list(p) for p in self.config_overrides],
             "quantum": self.quantum,
         }
+        # Emitted only when sampling is active: unsampled specs keep
+        # the exact canonical JSON (and store hashes) they had before
+        # the field existed.
+        if self.sample:
+            out["sample"] = [list(p) for p in self.sample]
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
@@ -120,7 +148,8 @@ class RunSpec:
                    data.get("scale", 0.5),
                    tuple(tuple(p) for p in data.get("policy_overrides", ())),
                    tuple(tuple(p) for p in data.get("config_overrides", ())),
-                   data.get("quantum"))
+                   data.get("quantum"),
+                   tuple(tuple(p) for p in data.get("sample", ())))
 
     def canonical_json(self) -> str:
         """Deterministic JSON form the content hash is computed over."""
@@ -133,11 +162,22 @@ class RunSpec:
         digest = hashlib.sha256(self.canonical_json().encode())
         return digest.hexdigest()[:16]
 
+    def sample_spec(self):
+        """The :class:`~repro.workloads.sample.SampleSpec`, or ``None``."""
+        if not self.sample:
+            return None
+        from ..workloads.sample import SampleSpec
+
+        return SampleSpec.from_any(self.sample)
+
     def label(self) -> str:
         """Short human-readable form for logs and reports."""
         extra = ""
         if self.policy_overrides or self.config_overrides or self.quantum:
             extra = "*"
+        sample = self.sample_spec()
+        if sample is not None:
+            extra += sample.label()
         return (f"{self.app}/{self.arch}@{self.pressure:.0%}"
                 f"(x{self.scale:g}){extra}")
 
@@ -175,7 +215,7 @@ class RunSpec:
         from .tracecache import fetch_traces
 
         workload = traces if traces is not None else fetch_traces(
-            self.app, self.scale)
+            self.app, self.scale, sample=self.sample or None)
         cfg_kwargs = {"n_nodes": workload.n_nodes,
                       "memory_pressure": self.pressure}
         cfg_kwargs.update(dict(self.config_overrides))

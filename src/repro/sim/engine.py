@@ -85,13 +85,28 @@ def default_vector_mode() -> str:
     """Vector mode (``auto``/``on``/``off``) an Engine gets from the
     environment alone — what ``REPRO_VECTOR_PATH`` currently resolves
     to, before any ctor override.  Used by the CLI and the job server
-    to report the process-wide dispatch default."""
-    raw = os.environ.get("REPRO_VECTOR_PATH", "").lower()
+    to report the process-wide dispatch default.
+
+    Only the documented spellings are honoured: ``1/on/yes/true`` pin
+    the kernel on, ``0/off/no/false`` pin it off, empty or ``auto``
+    defer to dispatch.  Anything else (a typo like ``of`` or ``fasle``)
+    used to silently force the kernel *on*; it now warns once and falls
+    back to ``auto``, so a typo can neither force nor forbid a
+    substrate behind the user's back."""
+    raw = os.environ.get("REPRO_VECTOR_PATH", "").strip().lower()
     if raw in ("", "auto"):
         return "auto"
     if raw in ("0", "off", "no", "false"):
         return "off"
-    return "on"
+    if raw in ("1", "on", "yes", "true"):
+        return "on"
+    import warnings
+
+    warnings.warn(
+        f"unrecognized REPRO_VECTOR_PATH={raw!r}; expected one of"
+        " 1/on/yes/true, 0/off/no/false, or auto — falling back to 'auto'",
+        RuntimeWarning, stacklevel=2)
+    return "auto"
 
 #: Event kinds after which a memoized page -> (mode, home) entry may be
 #: stale: page faults and S-COMA (un)mappings change the mode, home

@@ -26,7 +26,7 @@ import numpy as np
 
 __all__ = ["EV_READ", "EV_WRITE", "EV_COMPUTE", "EV_LOCAL", "EV_BARRIER",
            "TRACE_FORMAT_VERSION", "Trace", "TraceBuilder", "WorkloadTraces",
-           "coalesce_events"]
+           "coalesce_events", "load_trace_header"]
 
 EV_READ = 0
 EV_WRITE = 1
@@ -356,19 +356,8 @@ class WorkloadTraces:
 
     @classmethod
     def load(cls, path: str) -> "WorkloadTraces":
-        import ast
-
         with open(path, "rb") as fh:
-            if fh.read(len(_MAGIC)) != _MAGIC:
-                raise ValueError(f"{path} is not a workload trace file")
-            header = ast.literal_eval(fh.readline().decode())
-            # Files written before format_version existed carry no
-            # version key and read as version 0: always stale.
-            version = header.get("format_version", 0)
-            if version != TRACE_FORMAT_VERSION:
-                raise ValueError(
-                    f"{path} has trace format version {version}, "
-                    f"expected {TRACE_FORMAT_VERSION}")
+            header = _read_header(fh, path)
             traces = []
             for _ in range(header["n_nodes"]):
                 kinds = np.load(fh)
@@ -376,3 +365,33 @@ class WorkloadTraces:
                 traces.append(Trace(kinds, args))
         return cls(header["name"], traces, header["home_pages_per_node"],
                    header["total_shared_pages"], header.get("params"))
+
+
+def _read_header(fh, path) -> dict:
+    import ast
+
+    if fh.read(len(_MAGIC)) != _MAGIC:
+        raise ValueError(f"{path} is not a workload trace file")
+    header = ast.literal_eval(fh.readline().decode())
+    # Files written before format_version existed carry no version key
+    # and read as version 0: always stale.
+    version = header.get("format_version", 0)
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(
+            f"{path} has trace format version {version}, "
+            f"expected {TRACE_FORMAT_VERSION}")
+    return header
+
+
+def load_trace_header(path: str) -> dict:
+    """The metadata header of a saved workload, without the arrays.
+
+    Reads a few hundred bytes however large the trace is — the hook the
+    trace cache's streaming sampled path uses to recover
+    ``name``/``home_pages_per_node``/``total_shared_pages``/``params``
+    while the event arrays stay memory-mapped in the ``.soa`` sidecar.
+    Raises exactly like :meth:`WorkloadTraces.load` on a foreign or
+    stale file.
+    """
+    with open(path, "rb") as fh:
+        return _read_header(fh, path)

@@ -7,8 +7,10 @@ node count each runs on (lu uses 4 nodes, everything else 8 --
 Section 4.2).
 """
 
-from . import barnes, em3d, fft, lu, migratory, ocean, radix, synthetic
+from . import barnes, em3d, fft, ingest, lu, migratory, ocean, radix, sample, synthetic
 from .base import SyntheticGenerator, WorkloadSpec
+from .ingest import ingest_file, is_external_app, register_external
+from .sample import SampleSpec, sample_workload
 
 #: name -> (generate function, paper node count)
 WORKLOADS = {
@@ -54,6 +56,7 @@ def workload_spec(name: str, scale: float = 1.0, **overrides) -> WorkloadSpec:
 
 
 __all__ = [
+    "SampleSpec",
     "SyntheticGenerator",
     "WORKLOADS",
     "WorkloadSpec",
@@ -61,10 +64,16 @@ __all__ = [
     "em3d",
     "fft",
     "generate_workload",
+    "ingest",
+    "ingest_file",
+    "is_external_app",
     "lu",
     "migratory",
     "ocean",
     "radix",
+    "register_external",
+    "sample",
+    "sample_workload",
     "synthetic",
     "workload_spec",
 ]

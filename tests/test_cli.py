@@ -330,3 +330,58 @@ class TestScorecard:
     def test_empty_scorecard(self):
         out = render_scorecard([])
         assert "0/0" in out
+
+
+class TestSamplingCli:
+    """Sampling flags and the ingest / sample-report commands."""
+
+    def test_sample_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "fft", "ascoma", "--sample-rate", "4",
+             "--sample-pages", "0.5", "--sample-seed", "7",
+             "--sample-unit", "visit"])
+        assert (args.sample_rate, args.sample_pages,
+                args.sample_seed, args.sample_unit) == (4, 0.5, 7, "visit")
+        args = build_parser().parse_args(["matrix", "--sample-rate", "10"])
+        assert args.sample_rate == 10 and args.sample_unit == "sweep"
+
+    def test_ingest_defaults(self):
+        args = build_parser().parse_args(["ingest", "trace.csv"])
+        assert args.format == "csv" and args.barriers == 1
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "t.csv", "--format", "bin"])
+
+    def test_sampled_run_prints_estimates(self, capsys):
+        assert main(["--scale", "0.2", "run", "fft", "scoma",
+                     "--pressure", "0.9", "--sample-rate", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sampled" in out and "estimated full trace" in out
+
+    def test_full_run_has_no_sampling_line(self, capsys):
+        assert main(["--scale", "0.2", "run", "fft", "scoma",
+                     "--pressure", "0.9"]) == 0
+        assert "sampled" not in capsys.readouterr().out
+
+    def test_ingest_then_run_roundtrip(self, capsys):
+        import os
+        fixture = os.path.join(os.path.dirname(__file__), "fixtures",
+                               "external_small.csv")
+        assert main(["ingest", fixture, "--barriers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "registered as: ext/external_small@" in out
+        app_id = [line.split(": ", 1)[1] for line in out.splitlines()
+                  if line.startswith("registered as")][0]
+        assert main(["run", app_id, "ascoma", "--pressure", "0.9"]) == 0
+        assert "execution time" in capsys.readouterr().out
+
+    def test_unregistered_external_app_fails_cleanly(self, capsys):
+        assert main(["run", "ext/ghost@" + "0" * 16, "ascoma"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "repro ingest" in err
+
+    def test_ingest_without_trace_store_fails_cleanly(self, capsys):
+        import os
+        fixture = os.path.join(os.path.dirname(__file__), "fixtures",
+                               "external_small.csv")
+        assert main(["--no-trace-cache", "ingest", fixture]) == 2
+        assert "trace store" in capsys.readouterr().err

@@ -369,6 +369,60 @@ class TestVectorModeSelection:
         assert self._engine(vector_path=True).vector_mode == "on"
         assert self._engine(vector_path=False).vector_mode == "off"
 
+    @pytest.mark.parametrize("value", [" 1 ", "ON", " yes", "True",
+                                       "\toff\t", " FALSE "])
+    def test_env_values_are_stripped_and_case_folded(self, monkeypatch,
+                                                     value):
+        monkeypatch.setenv("REPRO_VECTOR_PATH", value)
+        from repro.sim.engine import default_vector_mode
+        expected = "on" if value.strip().lower() in ("1", "on", "yes",
+                                                     "true") else "off"
+        assert default_vector_mode() == expected
+
+    @pytest.mark.parametrize("garbage", ["2", "of", "fasle", "vector",
+                                         "-1", "y", "enable", "onoff"])
+    def test_garbage_env_warns_and_falls_back_to_auto(self, monkeypatch,
+                                                      garbage):
+        """An unrecognized value must neither force the kernel on (the
+        old behaviour resolved anything != off to 'on') nor pin it off:
+        it warns and defers to auto dispatch."""
+        monkeypatch.setenv("REPRO_VECTOR_PATH", garbage)
+        from repro.sim.engine import default_vector_mode
+        with pytest.warns(RuntimeWarning, match="REPRO_VECTOR_PATH"):
+            assert default_vector_mode() == "auto"
+        with pytest.warns(RuntimeWarning):
+            assert self._engine().vector_mode == "auto"
+
+    def test_whitespace_only_env_is_auto_without_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_PATH", "   ")
+        from repro.sim.engine import default_vector_mode
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_vector_mode() == "auto"
+
+    def test_ctor_beats_garbage_env(self, monkeypatch):
+        """An explicit ctor choice wins over whatever the environment
+        says, garbage included (the env is not even consulted, so no
+        warning fires)."""
+        import warnings
+        monkeypatch.setenv("REPRO_VECTOR_PATH", "fasle")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert self._engine(vector_path=True).vector_mode == "on"
+            assert self._engine(vector_path=False).vector_mode == "off"
+
+    def test_cost_model_substrate_honours_strict_parsing(self, monkeypatch):
+        """The LPT cost model reads the env through the same parser: a
+        typo'd 'off' must not silently flip its weight table."""
+        from repro.runtime.costs import _vector_substrate
+        from repro.sim.soatrace import vector_available
+        monkeypatch.setenv("REPRO_VECTOR_PATH", "off")
+        assert _vector_substrate() is False
+        monkeypatch.setenv("REPRO_VECTOR_PATH", "of")  # typo != off
+        with pytest.warns(RuntimeWarning):
+            assert _vector_substrate() is vector_available()
+
     def test_auto_never_conflicts_with_slow(self, monkeypatch):
         """auto + slow_path must not raise: the reference loop simply
         wins (only an *explicit* 'on' can conflict)."""

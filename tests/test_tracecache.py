@@ -341,3 +341,100 @@ class TestCrossProcessDeterminism:
                              legacy_pool=True)
         for spec in specs:
             assert new[spec].to_dict() == legacy[spec].to_dict()
+
+
+class TestConcurrentMutation:
+    """Satellite: store scans racing ``trace-clear`` must skip vanished
+    files, never crash.  The deterministic tests force the exact
+    interleaving (file deleted between a successful load/glob and the
+    following ``stat``); the threaded test hammers the real one."""
+
+    def test_entries_skips_file_deleted_after_load(self, tmp_path,
+                                                   monkeypatch):
+        import repro.runtime.tracecache as tc
+        store = _store(tmp_path)
+        store.put(APP, SCALE, get_workload(APP, SCALE))
+        store.put("fft", SCALE, get_workload("fft", SCALE))
+        real_load = trace_mod.WorkloadTraces.load
+        deleted = []
+
+        def racing_load(path):
+            wl = real_load(path)
+            if not deleted:  # first artifact vanishes right after load
+                import pathlib
+                p = pathlib.Path(path)
+                p.unlink()
+                p.with_suffix(".soa").unlink(missing_ok=True)
+                deleted.append(path)
+            return wl
+
+        monkeypatch.setattr(tc.WorkloadTraces, "load",
+                            staticmethod(racing_load))
+        entries = store.entries()
+        assert len(entries) == 1  # vanished file skipped, not an error
+        assert deleted
+
+    def _racing_root(self, store):
+        real_root = store.root
+
+        class RacingRoot:
+            """Every glob result is deleted before the caller sees it —
+            the worst-case clear() interleaving."""
+
+            def glob(self, pattern):
+                for p in list(real_root.glob(pattern)):
+                    p.unlink(missing_ok=True)
+                    yield p
+
+            def is_dir(self):
+                return True
+
+            def __str__(self):
+                return str(real_root)
+
+        return RacingRoot()
+
+    def test_size_bytes_counts_vanished_files_as_zero(self, tmp_path):
+        store = _store(tmp_path)
+        store.put(APP, SCALE, get_workload(APP, SCALE))
+        assert store.size_bytes() > 0
+        store.root = self._racing_root(store)
+        assert store.size_bytes() == 0
+
+    def test_describe_survives_concurrent_clear(self, tmp_path):
+        store = _store(tmp_path)
+        store.put(APP, SCALE, get_workload(APP, SCALE))
+        store.root = self._racing_root(store)
+        info = store.describe()
+        assert info["bytes"] == 0  # everything vanished mid-scan
+
+    def test_entries_during_clear_threaded(self, tmp_path):
+        """The reported crash: `repro store trace-list` concurrent with
+        `repro store trace-clear` raised FileNotFoundError from the
+        unguarded stat()."""
+        import threading
+        store = _store(tmp_path)
+        wl = get_workload(APP, SCALE)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            while not stop.is_set():
+                store.put(APP, SCALE, wl)
+                store.clear()
+
+        worker = threading.Thread(target=churn)
+        worker.start()
+        try:
+            for _ in range(50):
+                try:
+                    store.entries()
+                    store.size_bytes()
+                    store.describe()
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(exc)
+                    break
+        finally:
+            stop.set()
+            worker.join()
+        assert not errors, f"store scan crashed during clear: {errors[0]!r}"
